@@ -1,0 +1,36 @@
+//! Criterion bench for experiment E9: times the cache-hooked emulation
+//! (Section 8 prefetch model) on a branchy workload.
+
+use br_core::{by_name, CacheConfig, Experiment, Machine, Scale};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_cache(c: &mut Criterion) {
+    let exp = Experiment::new();
+    let w = by_name("puzzle", Scale::Test).unwrap();
+    let mut g = c.benchmark_group("icache");
+    g.sample_size(10);
+    for (label, cfg) in [
+        ("prefetch", CacheConfig::default()),
+        (
+            "no-prefetch",
+            CacheConfig {
+                prefetch: false,
+                ..CacheConfig::default()
+            },
+        ),
+    ] {
+        g.bench_function(format!("puzzle/{label}"), |b| {
+            b.iter(|| {
+                let (_, stats) = exp
+                    .run_with_cache(&w.source, Machine::BranchReg, cfg)
+                    .unwrap();
+                black_box(stats.stall_cycles)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_cache);
+criterion_main!(benches);

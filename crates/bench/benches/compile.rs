@@ -1,0 +1,33 @@
+//! Criterion bench for the compiler itself: front end, code generation,
+//! and assembly per machine (useful when hacking on br-codegen).
+
+use br_core::{by_name, Scale};
+use br_isa::Machine;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_compile(c: &mut Criterion) {
+    let w = by_name("vpcc", Scale::Test).unwrap();
+    let mut g = c.benchmark_group("compile");
+    g.bench_function("vpcc/frontend", |b| {
+        b.iter(|| black_box(br_frontend::compile(&w.source).unwrap()))
+    });
+    let module = br_frontend::compile(&w.source).unwrap();
+    for machine in [Machine::Baseline, Machine::BranchReg] {
+        g.bench_function(format!("vpcc/codegen-{machine}"), |b| {
+            b.iter(|| {
+                let out = br_codegen::compile_module(
+                    &module,
+                    machine,
+                    Default::default(),
+                    Default::default(),
+                );
+                black_box(out.asm.assemble().unwrap().code.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_compile);
+criterion_main!(benches);

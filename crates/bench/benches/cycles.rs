@@ -1,0 +1,26 @@
+//! Criterion bench for experiment E6: regenerates the cycle-saving
+//! comparison per pipeline depth on measured workloads.
+
+use br_core::{by_name, pipeline, Experiment, Scale};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_cycles(c: &mut Criterion) {
+    let exp = Experiment::new();
+    let w = by_name("grep", Scale::Test).unwrap();
+    let cmp = exp.run_comparison(w.name, &w.source).unwrap();
+    let mut g = c.benchmark_group("cycles");
+    g.bench_function("grep/compare-3..8-stages", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for stages in 3..=8 {
+                total += pipeline::compare(&cmp.baseline.meas, &cmp.brmach.meas, stages).saving;
+            }
+            black_box(total)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_cycles);
+criterion_main!(benches);

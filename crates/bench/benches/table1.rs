@@ -1,0 +1,40 @@
+//! Criterion bench for experiment E1: times the full Table I pipeline
+//! (compile + assemble + emulate, both machines) per workload, and the
+//! emulators' raw throughput.
+
+use br_core::{by_name, Experiment, Machine, Scale};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let exp = Experiment::new();
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+    for name in ["wc", "sieve", "puzzle"] {
+        let w = by_name(name, Scale::Test).unwrap();
+        g.bench_function(format!("{name}/both-machines"), |b| {
+            b.iter(|| {
+                let cmp = exp.run_comparison(w.name, &w.source).unwrap();
+                black_box(cmp.brmach.meas.instructions)
+            })
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("emulator-throughput");
+    g.sample_size(10);
+    let w = by_name("sieve", Scale::Test).unwrap();
+    for machine in [Machine::Baseline, Machine::BranchReg] {
+        let (prog, _) = exp.compile(&w.source, machine).unwrap();
+        g.bench_function(format!("sieve/{machine}"), |b| {
+            b.iter(|| {
+                let mut emu = br_emu::Emulator::new(&prog);
+                black_box(emu.run(u64::MAX).unwrap())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! Experiment E10 — the Section 9 sweep: vary the number of architected
+//! branch registers (the paper used 8 and asks what the "most cost
+//! effective combination" would be), plus ablations of the two compiler
+//! optimizations.
+
+use br_bench::{human, pct, scale_from_args};
+use br_core::{suite, BrOptions, Experiment, Machine};
+
+fn total_insts(exp: &Experiment, scale: br_core::Scale) -> (u64, u64) {
+    let mut insts = 0;
+    let mut refs = 0;
+    for w in suite(scale) {
+        let r = exp.run(&w.source, Machine::BranchReg).expect(w.name);
+        insts += r.meas.instructions;
+        refs += r.meas.data_refs;
+    }
+    (insts, refs)
+}
+
+fn main() {
+    let scale = scale_from_args();
+
+    // Baseline machine totals for reference.
+    let exp = Experiment::new();
+    let mut base_insts = 0u64;
+    for w in suite(scale) {
+        base_insts += exp
+            .run(&w.source, Machine::Baseline)
+            .expect(w.name)
+            .meas
+            .instructions;
+    }
+    println!("Section 9 branch-register-count sweep ({scale:?} scale)");
+    println!("baseline machine: {} instructions", human(base_insts));
+    println!();
+    println!(
+        "{:>7} {:>16} {:>16} {:>10}",
+        "bregs", "br insts", "data refs", "vs base"
+    );
+    for n in [2u8, 3, 4, 5, 6, 8] {
+        let exp = Experiment {
+            br_opts: BrOptions {
+                num_bregs: n,
+                ..Default::default()
+            },
+            ..Experiment::new()
+        };
+        let (insts, refs) = total_insts(&exp, scale);
+        println!(
+            "{:>7} {:>16} {:>16} {:>10}",
+            n,
+            human(insts),
+            human(refs),
+            pct((insts as f64 - base_insts as f64) / base_insts as f64 * 100.0)
+        );
+    }
+    println!();
+
+    println!("compiler-optimization ablations (8 branch registers):");
+    println!("{:<38} {:>16} {:>10}", "configuration", "br insts", "vs base");
+    let configs = [
+        ("full (paper configuration)", BrOptions::default()),
+        (
+            "no loop hoisting",
+            BrOptions {
+                hoisting: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "no noop replacement",
+            BrOptions {
+                noop_replacement: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "neither optimization",
+            BrOptions {
+                hoisting: false,
+                noop_replacement: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "fused fast compare (Section 9)",
+            BrOptions {
+                fused_compare: true,
+                ..Default::default()
+            },
+        ),
+    ];
+    for (name, opts) in configs {
+        let exp = Experiment {
+            br_opts: opts,
+            ..Experiment::new()
+        };
+        let (insts, _) = total_insts(&exp, scale);
+        println!(
+            "{:<38} {:>16} {:>10}",
+            name,
+            human(insts),
+            pct((insts as f64 - base_insts as f64) / base_insts as f64 * 100.0)
+        );
+    }
+}

@@ -1,0 +1,38 @@
+fn main() {
+    let src = r#"
+int data[12] = {5, -3, 9, 1, 0, 7, -8, 2, 6, 4, -1, 3};
+void swap(int *a, int *b) { int t = *a; *a = *b; *b = t; }
+void qsort_(int lo, int hi) {
+    if (lo >= hi) return;
+    int pivot = data[(lo + hi) / 2];
+    int i = lo, j = hi;
+    while (i <= j) {
+        while (data[i] < pivot) i++;
+        while (data[j] > pivot) j--;
+        if (i <= j) { swap(&data[i], &data[j]); i++; j--; }
+    }
+    qsort_(lo, j);
+    qsort_(i, hi);
+}
+int main() {
+    qsort_(0, 11);
+    for (int i = 1; i < 12; i++) if (data[i-1] > data[i]) return 255;
+    return data[0] + 100;
+}
+"#;
+    for n in [4u8, 5] {
+        let exp = br_core::Experiment {
+            br_opts: br_core::BrOptions { num_bregs: n, ..Default::default() },
+            ..br_core::Experiment::new()
+        };
+        let base = exp.run(src, br_core::Machine::Baseline).unwrap();
+        match exp.run(src, br_core::Machine::BranchReg) {
+            Ok(r) => println!("n={n}: base={} br={}", base.exit, r.exit),
+            Err(e) => println!("n={n}: base={} br=ERR {e}", base.exit),
+        }
+        if n == 4 {
+            let (prog, _) = exp.compile(src, br_core::Machine::BranchReg).unwrap();
+            println!("{}", prog.listing());
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Experiment E1 — reproduce **Table I**: dynamic instruction and data
+//! memory reference counts for both machines over the Appendix I suite.
+//!
+//! Paper reference values: the branch-register machine executed **6.8%
+//! fewer instructions** and made **2.0% more data references** (a 10:1
+//! ratio of instructions saved to references added).
+
+use br_bench::{human, pct, scale_from_args};
+use br_core::Experiment;
+
+fn main() {
+    let scale = scale_from_args();
+    let exp = Experiment::new();
+    let report = exp.run_suite(scale).expect("suite");
+
+    println!("Table I — Dynamic Measurements from the Two Machines ({scale:?} scale)");
+    println!();
+    println!(
+        "{:<12} {:>16} {:>16} {:>8}   {:>14} {:>14} {:>8}",
+        "program", "base insts", "br insts", "diff", "base refs", "br refs", "diff"
+    );
+    for r in &report.rows {
+        let ip = pct(
+            (r.brmach.meas.instructions as f64 - r.baseline.meas.instructions as f64)
+                / r.baseline.meas.instructions as f64
+                * 100.0,
+        );
+        let dp = pct(
+            (r.brmach.meas.data_refs as f64 - r.baseline.meas.data_refs as f64)
+                / r.baseline.meas.data_refs.max(1) as f64
+                * 100.0,
+        );
+        println!(
+            "{:<12} {:>16} {:>16} {:>8}   {:>14} {:>14} {:>8}",
+            r.name,
+            human(r.baseline.meas.instructions),
+            human(r.brmach.meas.instructions),
+            ip,
+            human(r.baseline.meas.data_refs),
+            human(r.brmach.meas.data_refs),
+            dp,
+        );
+    }
+    let t = report.table1();
+    println!("{}", "-".repeat(100));
+    println!(
+        "{:<12} {:>16} {:>16} {:>8}   {:>14} {:>14} {:>8}",
+        "TOTAL",
+        human(t.baseline_insts),
+        human(t.brmach_insts),
+        pct(t.inst_diff_pct),
+        human(t.baseline_refs),
+        human(t.brmach_refs),
+        pct(t.refs_diff_pct),
+    );
+    println!();
+    println!("paper: instructions -6.8%, data references +2.0%");
+    let ratio = if t.brmach_refs > t.baseline_refs {
+        (t.baseline_insts.saturating_sub(t.brmach_insts)) as f64
+            / (t.brmach_refs - t.baseline_refs) as f64
+    } else {
+        f64::INFINITY
+    };
+    println!("measured ratio of instructions-saved to data-refs-added: {ratio:.1} : 1 (paper: 10 : 1)");
+}

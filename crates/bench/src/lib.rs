@@ -1,0 +1,54 @@
+//! `br-bench` — the measurement harness.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the
+//! paper (see DESIGN.md's experiment index); the Criterion benches in
+//! `benches/` time the pipeline itself. All binaries accept `--paper`
+//! to run the full-size inputs (the default is the fast test scale).
+
+use br_core::Scale;
+
+/// Parse the common `--paper` flag.
+pub fn scale_from_args() -> Scale {
+    if std::env::args().any(|a| a == "--paper") {
+        Scale::Paper
+    } else {
+        Scale::Test
+    }
+}
+
+/// Render a ratio as a signed percentage string.
+pub fn pct(v: f64) -> String {
+    format!("{v:+.2}%")
+}
+
+/// Format a count with thousands separators.
+pub fn human(v: u64) -> String {
+    let s = v.to_string();
+    let mut out = String::new();
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn human_formats_thousands() {
+        assert_eq!(human(0), "0");
+        assert_eq!(human(999), "999");
+        assert_eq!(human(1000), "1,000");
+        assert_eq!(human(1234567), "1,234,567");
+    }
+
+    #[test]
+    fn pct_signs() {
+        assert_eq!(pct(-6.8), "-6.80%");
+        assert_eq!(pct(2.0), "+2.00%");
+    }
+}

@@ -1,0 +1,374 @@
+//! Branch-register allocation and loop hoisting of branch-target address
+//! calculations — the paper's Section 5 optimization.
+//!
+//! Branch targets are ordered by estimated execution frequency (`10^depth`
+//! summed over all branches to the same target within a loop); the
+//! highest-frequency calculation is moved to the preheader of the
+//! outermost enclosing loop for which a branch register can be allocated.
+//! Loops containing calls require callee-saved branch registers; branch
+//! registers may be shared between non-overlapping loops.
+
+use std::collections::HashMap;
+
+use br_ir::{Cfg, Dominators, FreqEstimate, Function, LoopForest};
+
+use crate::target::BrOptions;
+use crate::vcode::{VFunc, VInst, VTerm};
+
+/// What a hoisted calculation computes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HoistedWhat {
+    /// A branch target inside the function (one `bcalc`).
+    Block(u32),
+    /// A function entry (a `sethi` + `bmovr` pair).
+    Func(String),
+}
+
+/// One calculation placed in a preheader.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hoisted {
+    /// Branch register holding the target.
+    pub breg: u8,
+    /// The target.
+    pub what: HoistedWhat,
+}
+
+/// The complete hoisting plan for one function.
+#[derive(Debug, Clone, Default)]
+pub struct HoistPlan {
+    /// `(branch block, target block)` → branch register.
+    pub target_breg: HashMap<(u32, u32), u8>,
+    /// `(call block, callee name)` → branch register.
+    pub call_breg: HashMap<(u32, String), u8>,
+    /// Preheader block → calculations to place there.
+    pub preheader: HashMap<u32, Vec<Hoisted>>,
+    /// Callee-saved branch registers used (must be saved/restored).
+    pub used_callee: Vec<u8>,
+    /// For each block, the branch registers live in some enclosing loop
+    /// (unavailable as local scratch).
+    pub reserved_in: HashMap<u32, Vec<u8>>,
+    /// Total number of hoisted calculations.
+    pub count: u32,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum CalcKey {
+    Block(u32),
+    Func(String),
+}
+
+/// Build the plan. `ir` must be the IR function `vf` was selected from
+/// (block ids are shared). When `reserve_stash` is set, one caller-saved
+/// branch register is withheld from the pools so a leaf function can
+/// stash its return address without memory traffic (the paper's
+/// `b[1]=b[7]` pattern in Figure 4).
+pub fn plan(ir: &Function, vf: &VFunc, opts: &BrOptions, reserve_stash: bool) -> HoistPlan {
+    let mut plan = HoistPlan::default();
+    if !opts.hoisting {
+        return plan;
+    }
+    let (callee_pool, mut caller_pool) = opts.pools();
+    if reserve_stash {
+        caller_pool.pop();
+    }
+    if callee_pool.is_empty() && caller_pool.is_empty() {
+        return plan;
+    }
+
+    let cfg = Cfg::new(ir);
+    let dom = Dominators::new(&cfg);
+    let mut loops = LoopForest::new(&cfg, &dom);
+    let freq = FreqEstimate::new(ir, &loops);
+
+    // Which blocks contain calls (for the callee-save constraint).
+    let call_blocks: Vec<br_ir::BlockId> = vf
+        .iter_blocks()
+        .filter(|(_, b)| b.insts.iter().any(VInst::is_call))
+        .map(|(id, _)| id)
+        .collect();
+    loops.mark_calls(&call_blocks);
+
+    // ---- gather candidates: (loop, what) → (freq, blocks) ----
+    #[derive(Default)]
+    struct Cand {
+        freq: u64,
+        blocks: Vec<u32>,
+    }
+    let mut cands: HashMap<(usize, CalcKey), Cand> = HashMap::new();
+    for (bid, block) in vf.iter_blocks() {
+        let Some(li) = loops.innermost(bid) else {
+            continue;
+        };
+        let f = freq.of(bid);
+        let mut add = |key: CalcKey| {
+            let c = cands.entry((li, key)).or_default();
+            c.freq += f;
+            c.blocks.push(bid.0);
+        };
+        match block.term() {
+            VTerm::Jump(t) => add(CalcKey::Block(t.0)),
+            VTerm::Branch { then_bb, .. } => add(CalcKey::Block(then_bb.0)),
+            _ => {}
+        }
+        for inst in &block.insts {
+            if let VInst::Call { func, .. } = inst {
+                add(CalcKey::Func(func.clone()));
+            }
+        }
+    }
+    let mut ordered: Vec<((usize, CalcKey), Cand)> = cands.into_iter().collect();
+    ordered.sort_by(|a, b| {
+        b.1.freq
+            .cmp(&a.1.freq)
+            .then_with(|| a.1.blocks.cmp(&b.1.blocks))
+    });
+
+    // ---- allocate branch registers, outermost-feasible level first ----
+    // A register allocated for loop L is live over L's body *plus* L's
+    // preheader (where the calculation is placed). Two allocations
+    // interfere when those regions intersect — checking bodies alone is
+    // not enough: a sibling loop's preheader may sit inside another
+    // loop's body.
+    let region = |lvl: usize| -> std::collections::BTreeSet<u32> {
+        let mut s: std::collections::BTreeSet<u32> =
+            loops.loops[lvl].body.iter().map(|b| b.0).collect();
+        if let Some(ph) = loops.loops[lvl].preheader {
+            s.insert(ph.0);
+        }
+        s
+    };
+    let disjoint = |a: usize, b: usize| region(a).is_disjoint(&region(b));
+    let mut assigned: HashMap<u8, Vec<usize>> = HashMap::new();
+    for ((li, key), cand) in ordered {
+        // Chain of loops from the innermost outward while preheaders exist.
+        let mut chain = vec![li];
+        let mut cur = li;
+        while let Some(p) = loops.loops[cur].parent {
+            if loops.loops[p].preheader.is_none() {
+                break;
+            }
+            chain.push(p);
+            cur = p;
+        }
+        if loops.loops[li].preheader.is_none() {
+            continue; // cannot place even at the innermost level
+        }
+        // Try outermost first (maximum code motion).
+        let mut choice: Option<(usize, u8)> = None;
+        for &lvl in chain.iter().rev() {
+            if loops.loops[lvl].preheader.is_none() {
+                continue;
+            }
+            let needs_callee = loops.loops[lvl].has_call || matches!(key, CalcKey::Func(_));
+            let pool: Vec<u8> = if needs_callee {
+                callee_pool.clone()
+            } else {
+                caller_pool
+                    .iter()
+                    .chain(callee_pool.iter())
+                    .copied()
+                    .collect()
+            };
+            let free = pool.into_iter().find(|b| {
+                assigned
+                    .get(b)
+                    .map(|ls| ls.iter().all(|&l| disjoint(l, lvl)))
+                    .unwrap_or(true)
+            });
+            if let Some(b) = free {
+                choice = Some((lvl, b));
+                break;
+            }
+        }
+        let Some((lvl, breg)) = choice else {
+            continue; // no register: the calc stays local
+        };
+        assigned.entry(breg).or_default().push(lvl);
+        if callee_pool.contains(&breg) && !plan.used_callee.contains(&breg) {
+            plan.used_callee.push(breg);
+        }
+        let ph = loops.loops[lvl].preheader.expect("checked");
+        let what = match &key {
+            CalcKey::Block(t) => HoistedWhat::Block(*t),
+            CalcKey::Func(f) => HoistedWhat::Func(f.clone()),
+        };
+        plan.preheader
+            .entry(ph.0)
+            .or_default()
+            .push(Hoisted { breg, what });
+        plan.count += 1;
+        for b in cand.blocks {
+            match &key {
+                CalcKey::Block(t) => {
+                    plan.target_breg.insert((b, *t), breg);
+                }
+                CalcKey::Func(f) => {
+                    plan.call_breg.insert((b, f.clone()), breg);
+                }
+            }
+        }
+    }
+    plan.used_callee.sort_unstable();
+
+    // ---- reserved registers per block (for scratch selection) ----
+    for (breg, ls) in &assigned {
+        for &l in ls {
+            for b in &loops.loops[l].body {
+                plan.reserved_in.entry(b.0).or_default().push(*breg);
+            }
+            if let Some(ph) = loops.loops[l].preheader {
+                plan.reserved_in.entry(ph.0).or_default().push(*breg);
+            }
+        }
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isel::{select, ConstPool};
+    use crate::target::TargetSpec;
+    use br_frontend::compile;
+    use br_isa::Machine;
+
+    fn plan_for(src: &str, name: &str, opts: &BrOptions) -> (HoistPlan, VFunc) {
+        let m = compile(src).unwrap();
+        let f = m.function(name).unwrap();
+        let t = TargetSpec::for_machine(Machine::BranchReg);
+        let mut pool = ConstPool::new();
+        let vf = select(&m, f, &t, &mut pool);
+        (plan(f, &vf, opts, false), vf)
+    }
+
+    #[test]
+    fn loop_branch_target_is_hoisted() {
+        let src = "int f(int n) { int s = 0; while (n > 0) { s += n; n--; } return s; }";
+        let (p, _) = plan_for(src, "f", &BrOptions::default());
+        assert!(p.count >= 1, "expected at least one hoisted calc: {p:?}");
+        assert!(!p.preheader.is_empty());
+        // No calls → caller-saved registers suffice.
+        assert!(p.used_callee.is_empty());
+    }
+
+    #[test]
+    fn loop_with_call_uses_callee_saved_breg() {
+        let src = r#"
+            int g(int x) { return x + 1; }
+            int f(int n) { int s = 0; while (n > 0) { s = g(s); n--; } return s; }
+        "#;
+        let (p, _) = plan_for(src, "f", &BrOptions::default());
+        assert!(p.count >= 1);
+        assert!(
+            !p.used_callee.is_empty(),
+            "loop with a call must allocate callee-saved bregs: {p:?}"
+        );
+        // The call target itself should be hoisted.
+        assert!(p.call_breg.keys().any(|(_, f)| f == "g"));
+    }
+
+    #[test]
+    fn hoisting_disabled_yields_empty_plan() {
+        let src = "int f(int n) { int s = 0; while (n > 0) { s += n; n--; } return s; }";
+        let opts = BrOptions {
+            hoisting: false,
+            ..Default::default()
+        };
+        let (p, _) = plan_for(src, "f", &opts);
+        assert_eq!(p.count, 0);
+        assert!(p.target_breg.is_empty());
+    }
+
+    #[test]
+    fn nested_loops_allocate_distinct_registers() {
+        let src = r#"
+            int f(int n) {
+                int s = 0;
+                for (int i = 0; i < n; i++)
+                    for (int j = 0; j < n; j++)
+                        s += i * j;
+                return s;
+            }
+        "#;
+        let (p, _) = plan_for(src, "f", &BrOptions::default());
+        assert!(p.count >= 2, "inner and outer loop targets: {p:?}");
+        // Registers assigned to overlapping (nested) loops must differ.
+        let regs: Vec<u8> = p.preheader.values().flatten().map(|h| h.breg).collect();
+        let mut uniq = regs.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(regs.len(), uniq.len(), "{p:?}");
+    }
+
+    #[test]
+    fn tiny_breg_file_limits_hoisting() {
+        let src = r#"
+            int f(int n) {
+                int s = 0;
+                for (int i = 0; i < n; i++)
+                    for (int j = 0; j < n; j++)
+                        for (int k = 0; k < n; k++)
+                            s += i * j * k;
+                return s;
+            }
+        "#;
+        let full = plan_for(src, "f", &BrOptions::default()).0;
+        let tiny = plan_for(
+            src,
+            "f",
+            &BrOptions {
+                num_bregs: 3,
+                ..Default::default()
+            },
+        )
+        .0;
+        assert!(tiny.count < full.count);
+    }
+
+    #[test]
+    fn disjoint_loops_share_a_register() {
+        // The straight-line block between the loops keeps the second
+        // loop's preheader outside the first loop, so one register can
+        // serve both (back-to-back loops would conflict: the second
+        // preheader would be the first loop's header).
+        let src = r#"
+            int g;
+            int f(int n) {
+                int s = 0;
+                while (n > 0) { s += n; n--; }
+                g = s;
+                s = g + 1;
+                while (s > 10) { s -= 10; }
+                return s;
+            }
+        "#;
+        let opts = BrOptions {
+            num_bregs: 3, // pool = {b1}
+            ..Default::default()
+        };
+        let (p, _) = plan_for(src, "f", &opts);
+        assert!(p.count >= 2, "{p:?}");
+    }
+
+    #[test]
+    fn back_to_back_loops_do_not_share_when_preheader_is_inside() {
+        // Regression test for the qsort bug: the second loop's preheader
+        // is the first loop's header, so sharing one register would let
+        // the second loop's calculation clobber the first loop's target.
+        let src = r#"
+            int f(int n) {
+                int s = 0;
+                while (n > 0) { s += n; n--; }
+                while (s > 10) { s -= 10; }
+                return s;
+            }
+        "#;
+        let opts = BrOptions {
+            num_bregs: 3, // pool = {b1}
+            ..Default::default()
+        };
+        let (p, _) = plan_for(src, "f", &opts);
+        // Only one of the two loop targets can be hoisted safely.
+        assert_eq!(p.count, 1, "{p:?}");
+    }
+}

@@ -1,0 +1,514 @@
+//! `br-codegen` — code generation for the paper's two machines.
+//!
+//! The pipeline mirrors the authors' *vpo*-based compiler:
+//!
+//! 1. **Instruction selection** ([`isel`]) lowers the target-independent
+//!    IR to virtual-register machine code, with strength reduction and a
+//!    float constant pool.
+//! 2. **Register allocation** ([`regalloc`]) is Chaitin-style graph
+//!    coloring with spilling; the branch-register machine's 16-register
+//!    file spills more often, which is the source of Table I's extra
+//!    data memory references.
+//! 3. **Finalization** is where the machines diverge:
+//!    * [`baseline`] emits condition-code compares, delayed branches,
+//!      and runs the classic fill-from-above delay-slot scheduler;
+//!    * [`brmach`] emits branch-target address calculations and transfer
+//!      *carriers*, hoists calculations into loop preheaders with branch-
+//!      register allocation ([`hoist`]), and replaces noop carriers with
+//!      pending calculations — the paper's Sections 4–5.
+//!
+//! # Example
+//!
+//! ```
+//! use br_codegen::compile_module;
+//! use br_isa::Machine;
+//!
+//! let module = br_frontend::compile("int main() { return 2 + 3; }")?;
+//! let out = compile_module(&module, Machine::BranchReg, Default::default(), Default::default());
+//! let program = out.asm.assemble()?;
+//! assert!(program.static_inst_count() > 0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod baseline;
+pub mod brmach;
+pub mod data;
+pub mod emit;
+pub mod hoist;
+pub mod isel;
+pub mod regalloc;
+pub mod target;
+pub mod vcode;
+
+pub use emit::CodegenStats;
+pub use target::{BaseOptions, BrOptions, TargetSpec};
+
+use br_ir::{Cfg, Dominators, LoopForest, Module};
+use br_isa::{AsmProgram, Machine};
+
+/// Output of compiling a module for one machine.
+#[derive(Debug, Clone)]
+pub struct CompiledModule {
+    /// The symbolic program, ready to assemble.
+    pub asm: AsmProgram,
+    /// Static code-generation statistics, summed over all functions.
+    pub stats: CodegenStats,
+}
+
+/// Compile `module` for `machine`.
+///
+/// `base_opts` affects only the baseline machine; `br_opts` only the
+/// branch-register machine (pass `Default::default()` for the paper's
+/// configuration).
+///
+/// # Panics
+///
+/// Panics if the module contains a declared-but-undefined function that
+/// is reachable (the assembler would report the missing symbol anyway).
+pub fn compile_module(
+    module: &Module,
+    machine: Machine,
+    base_opts: BaseOptions,
+    br_opts: BrOptions,
+) -> CompiledModule {
+    let target = TargetSpec::for_machine(machine);
+    let mut pool = isel::ConstPool::new();
+    let mut asm = AsmProgram::new(machine);
+    let mut stats = CodegenStats::default();
+
+    for func in &module.functions {
+        if func.blocks.is_empty() {
+            continue; // prototype without a body
+        }
+        let mut vf = isel::select(module, func, &target, &mut pool);
+        vf.max_out_args = baseline::compute_max_out_args(&vf, &target);
+
+        // Loop depths for spill costs (and, on the BR machine, hoisting).
+        let cfg = Cfg::new(func);
+        let dom = Dominators::new(&cfg);
+        let loops = LoopForest::new(&cfg, &dom);
+        let depth: Vec<u32> = (0..func.blocks.len())
+            .map(|i| loops.depth(br_ir::BlockId(i as u32)))
+            .collect();
+
+        let alloc = regalloc::allocate(&mut vf, &target, &depth);
+        let (afunc, fstats) = match machine {
+            Machine::Baseline => baseline::emit_baseline(&vf, &target, &alloc, base_opts),
+            Machine::BranchReg => brmach::emit_brmach(func, &mut vf, &target, &alloc, br_opts),
+        };
+        stats.accumulate(&fstats);
+        asm.funcs.push(afunc);
+    }
+
+    asm.data = data::lower_globals(module);
+    asm.data.extend(data::lower_pool(pool.into_items()));
+    CompiledModule { asm, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use br_emu::Emulator;
+    use br_ir::Interpreter;
+
+    /// Compile and run `src` on `machine`; return (exit value, emulator).
+    fn run_on(src: &str, machine: Machine) -> (i32, br_emu::Measurements) {
+        let module = br_frontend::compile(src).expect("frontend");
+        let out = compile_module(&module, machine, Default::default(), Default::default());
+        let prog = out.asm.assemble().unwrap_or_else(|e| {
+            panic!("assemble failed on {machine}: {e}");
+        });
+        let mut emu = Emulator::new(&prog);
+        let exit = emu.run(200_000_000).unwrap_or_else(|e| {
+            panic!("run failed on {machine}: {e}\n{}", prog.listing());
+        });
+        (exit, emu.measurements().clone())
+    }
+
+    /// Differential check: IR interpreter and both machines must agree.
+    fn check(src: &str) -> (br_emu::Measurements, br_emu::Measurements) {
+        let module = br_frontend::compile(src).expect("frontend");
+        let expected = Interpreter::new(&module)
+            .run("main", &[])
+            .expect("interpreter");
+        let (base, mb) = run_on(src, Machine::Baseline);
+        let (brm, mr) = run_on(src, Machine::BranchReg);
+        assert_eq!(base, expected, "baseline disagrees with interpreter");
+        assert_eq!(brm, expected, "BR machine disagrees with interpreter");
+        (mb, mr)
+    }
+
+    #[test]
+    fn constant_return() {
+        check("int main() { return 42; }");
+    }
+
+    #[test]
+    fn arithmetic() {
+        check("int main() { return (7 * 9 - 3) / 2 % 13; }");
+        check("int main() { int x = -5; return x * -3 + (x ^ 12) - (x & 6) + (x | 3); }");
+        check("int main() { int x = 1000000; return x / 7 + x % 7 + (x >> 3) + (x << 2); }");
+    }
+
+    #[test]
+    fn simple_loop() {
+        let (mb, mr) = check(
+            "int main() { int s = 0; for (int i = 0; i < 100; i++) s += i; return s % 256; }",
+        );
+        // The BR machine should execute fewer instructions (hoisted
+        // calcs + carriers) — the paper's headline effect.
+        assert!(
+            mr.instructions < mb.instructions,
+            "BR {} vs baseline {}",
+            mr.instructions,
+            mb.instructions
+        );
+        // And the dominant loop branch should be fully prefetched
+        // (distance bucket 0 = "far enough").
+        assert!(mr.transfer_dist[0] > 0);
+    }
+
+    #[test]
+    fn nested_loops_and_conditionals() {
+        check(
+            r#"
+            int main() {
+                int s = 0;
+                for (int i = 0; i < 20; i++) {
+                    for (int j = 0; j < 20; j++) {
+                        if ((i + j) % 3 == 0) s += i * j;
+                        else if (j > i) s -= 1;
+                    }
+                }
+                return s % 251;
+            }
+        "#,
+        );
+    }
+
+    #[test]
+    fn calls_and_recursion() {
+        check(
+            r#"
+            int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+            int main() { return fib(15) % 256; }
+        "#,
+        );
+    }
+
+    #[test]
+    fn call_in_loop_uses_callee_saved_breg() {
+        let src = r#"
+            int inc(int x) { return x + 1; }
+            int main() { int s = 0; for (int i = 0; i < 50; i++) s = inc(s); return s; }
+        "#;
+        let (_, mr) = check(src);
+        // Branch-register saves/restores should appear (callee-saved
+        // bregs + b7 spills), as the paper reports.
+        assert!(mr.br_saves > 0);
+        assert!(mr.br_restores > 0);
+    }
+
+    #[test]
+    fn arrays_and_pointers() {
+        check(
+            r#"
+            int a[50];
+            int main() {
+                for (int i = 0; i < 50; i++) a[i] = i * i;
+                int *p = a;
+                int s = 0;
+                while (p < a + 50) s += *p++;
+                return s % 256;
+            }
+        "#,
+        );
+    }
+
+    #[test]
+    fn strings_and_chars() {
+        check(
+            r#"
+            int count(char *s, char c) {
+                int n = 0;
+                while (*s) { if (*s == c) n++; s++; }
+                return n;
+            }
+            int main() { return count("abracadabra", 'a') * 10 + count("xyz", 'q'); }
+        "#,
+        );
+    }
+
+    #[test]
+    fn floats_end_to_end() {
+        check(
+            r#"
+            float scale(float x, float k) { return x * k + 0.5; }
+            int main() {
+                float s = 0.0;
+                for (int i = 0; i < 10; i++) s = scale(s, 1.5);
+                if (s > 170.0 && s < 172.0) return 1;
+                return (int)s;
+            }
+        "#,
+        );
+    }
+
+    #[test]
+    fn switch_statement_both_dense_and_sparse() {
+        check(
+            r#"
+            int dense(int c) {
+                switch (c) {
+                    case 0: return 1;
+                    case 1: return 2;
+                    case 2: return 4;
+                    case 3: return 8;
+                    case 4: return 16;
+                    default: return 0;
+                }
+            }
+            int sparse(int c) {
+                switch (c) {
+                    case 10: return 1;
+                    case 1000: return 2;
+                    default: return 3;
+                }
+            }
+            int main() {
+                int s = 0;
+                for (int i = -2; i < 8; i++) s += dense(i);
+                return s * 100 + sparse(10) + sparse(1000) + sparse(7);
+            }
+        "#,
+        );
+    }
+
+    #[test]
+    fn many_arguments_overflow_to_stack() {
+        check(
+            r#"
+            int sum8(int a, int b, int c, int d, int e, int f, int g, int h) {
+                return a + 2*b + 3*c + 4*d + 5*e + 6*f + 7*g + 8*h;
+            }
+            int main() { return sum8(1, 2, 3, 4, 5, 6, 7, 8); }
+        "#,
+        );
+    }
+
+    #[test]
+    fn register_pressure_spills_work() {
+        // Many values live across a call, re-created in a loop so spill
+        // traffic dominates the dynamic data-reference count.
+        let mut body = String::new();
+        for i in 0..24 {
+            body.push_str(&format!("int v{i} = n + {i};\n"));
+        }
+        body.push_str("n = helper(n) % 100;\n");
+        let mut sum = String::from("s = (s");
+        for i in 0..24 {
+            sum.push_str(&format!(" + v{i}"));
+        }
+        sum.push_str(" + n) % 256;");
+        let src = format!(
+            "int helper(int x) {{ return x * 2 + 1; }}\n\
+             int main() {{ int n = 5; int s = 0; \
+             for (int k = 0; k < 20; k++) {{ {body} {sum} }} return s; }}"
+        );
+        let (mb, mr) = check(&src);
+        // More spills on the BR machine → more data references.
+        assert!(
+            mr.data_refs > mb.data_refs,
+            "BR {} vs baseline {}",
+            mr.data_refs,
+            mb.data_refs
+        );
+    }
+
+    #[test]
+    fn global_state_across_calls() {
+        check(
+            r#"
+            int counter = 0;
+            void tick() { counter++; }
+            int main() {
+                for (int i = 0; i < 13; i++) tick();
+                return counter;
+            }
+        "#,
+        );
+    }
+
+    #[test]
+    fn two_dimensional_matrix() {
+        check(
+            r#"
+            int m[8][8];
+            int main() {
+                for (int i = 0; i < 8; i++)
+                    for (int j = 0; j < 8; j++)
+                        m[i][j] = i * 8 + j;
+                int t = 0;
+                for (int i = 0; i < 8; i++) t += m[i][i];
+                return t;
+            }
+        "#,
+        );
+    }
+
+    #[test]
+    fn do_while_and_break_continue() {
+        check(
+            r#"
+            int main() {
+                int i = 0, s = 0;
+                do {
+                    i++;
+                    if (i % 3 == 0) continue;
+                    if (i > 17) break;
+                    s += i;
+                } while (i < 100);
+                return s;
+            }
+        "#,
+        );
+    }
+
+    #[test]
+    fn ablation_no_hoisting_executes_more_instructions() {
+        let src =
+            "int main() { int s = 0; for (int i = 0; i < 200; i++) s += i; return s % 256; }";
+        let module = br_frontend::compile(src).unwrap();
+        let with = compile_module(
+            &module,
+            Machine::BranchReg,
+            Default::default(),
+            BrOptions::default(),
+        );
+        let without = compile_module(
+            &module,
+            Machine::BranchReg,
+            Default::default(),
+            BrOptions {
+                hoisting: false,
+                ..Default::default()
+            },
+        );
+        let run = |cm: &CompiledModule| {
+            let p = cm.asm.assemble().unwrap();
+            let mut emu = Emulator::new(&p);
+            let exit = emu.run(10_000_000).unwrap();
+            (exit, emu.measurements().instructions)
+        };
+        let (e1, i1) = run(&with);
+        let (e2, i2) = run(&without);
+        assert_eq!(e1, e2);
+        assert!(i1 < i2, "hoisting should reduce executed instructions");
+    }
+
+    #[test]
+    fn delay_slot_filling_reduces_noops() {
+        let src = r#"
+            int f(int x) { return x * 3; }
+            int main() { int s = 0; for (int i = 0; i < 50; i++) s += f(i); return s % 256; }
+        "#;
+        let module = br_frontend::compile(src).unwrap();
+        let with = compile_module(
+            &module,
+            Machine::Baseline,
+            BaseOptions::default(),
+            Default::default(),
+        );
+        let without = compile_module(
+            &module,
+            Machine::Baseline,
+            BaseOptions {
+                fill_delay_slots: false,
+            },
+            Default::default(),
+        );
+        assert!(with.stats.slots_filled > 0);
+        let run = |cm: &CompiledModule| {
+            let p = cm.asm.assemble().unwrap();
+            let mut emu = Emulator::new(&p);
+            let exit = emu.run(10_000_000).unwrap();
+            (exit, emu.measurements().noops)
+        };
+        let (e1, n1) = run(&with);
+        let (e2, n2) = run(&without);
+        assert_eq!(e1, e2);
+        assert!(n1 < n2, "filling should reduce executed noops");
+    }
+
+    #[test]
+    fn fused_fast_compare_agrees_and_saves_instructions() {
+        // Section 9 future-work variant: every Appendix-I-style kernel
+        // must agree, with fewer executed instructions (no carriers
+        // after compares).
+        let src = r#"
+            int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+            int main() {
+                int s = fib(12);
+                for (int i = 0; i < 40; i++) if (i % 3 == 0) s += i;
+                return s % 256;
+            }
+        "#;
+        let module = br_frontend::compile(src).unwrap();
+        let run = |opts: BrOptions| {
+            let out = compile_module(&module, Machine::BranchReg, Default::default(), opts);
+            let p = out.asm.assemble().unwrap();
+            let mut emu = Emulator::new(&p);
+            let exit = emu.run(10_000_000).unwrap();
+            (exit, emu.measurements().instructions)
+        };
+        let (e0, i0) = run(BrOptions::default());
+        let (e1, i1) = run(BrOptions {
+            fused_compare: true,
+            ..Default::default()
+        });
+        assert_eq!(e0, e1);
+        assert!(i1 < i0, "fused {} vs carriered {}", i1, i0);
+    }
+
+    #[test]
+    fn fused_compare_consistent_across_workloads() {
+        let exp_opts = BrOptions {
+            fused_compare: true,
+            ..Default::default()
+        };
+        for name in ["wc", "sort", "vpcc", "puzzle"] {
+            let w = br_workloads::by_name(name, br_workloads::Scale::Test).unwrap();
+            let module = br_frontend::compile(&w.source).unwrap();
+            let base = {
+                let out =
+                    compile_module(&module, Machine::Baseline, Default::default(), Default::default());
+                let p = out.asm.assemble().unwrap();
+                let mut emu = Emulator::new(&p);
+                emu.run(100_000_000).unwrap()
+            };
+            let fused = {
+                let out = compile_module(&module, Machine::BranchReg, Default::default(), exp_opts);
+                let p = out.asm.assemble().unwrap();
+                let mut emu = Emulator::new(&p);
+                emu.run(100_000_000).unwrap()
+            };
+            assert_eq!(base, fused, "{name} disagrees under fused compare");
+        }
+    }
+
+    #[test]
+    fn stats_track_carrier_kinds() {
+        let src =
+            "int main() { int s = 0; for (int i = 0; i < 10; i++) s += i; return s; }";
+        let module = br_frontend::compile(src).unwrap();
+        let out = compile_module(
+            &module,
+            Machine::BranchReg,
+            Default::default(),
+            Default::default(),
+        );
+        let s = &out.stats;
+        assert!(s.hoisted_calcs > 0);
+        assert!(s.carriers_useful + s.carriers_noop + s.carriers_replaced_by_calc > 0);
+    }
+}

@@ -1,0 +1,601 @@
+//! Chaitin-style graph-coloring register allocation with spilling.
+//!
+//! Virtual registers that live across a call are restricted to
+//! callee-saved registers; everything else prefers caller-saved ones.
+//! Spill costs are weighted by `10^loop-depth`, the same static estimate
+//! the paper's compiler uses for its branch-frequency ordering, so the
+//! registers (data *and*, later, branch) go to the innermost loops first.
+
+use std::collections::HashSet;
+
+use br_ir::{BlockId, RegClass};
+
+use crate::target::TargetSpec;
+use crate::vcode::{FrameRef, VBlock, VFunc, VInst, VR};
+
+/// Result of register allocation for one function.
+#[derive(Debug, Clone)]
+pub struct Allocation {
+    /// Physical register (within the vreg's class) per vreg; `None` for
+    /// spilled vregs (which have a slot in `spill_slot` instead).
+    pub assign: Vec<Option<u8>>,
+    /// Callee-saved integer registers actually used (must be saved in
+    /// the prologue).
+    pub used_int_callee: Vec<u8>,
+    /// Callee-saved float registers actually used.
+    pub used_float_callee: Vec<u8>,
+}
+
+impl Allocation {
+    /// The physical register assigned to `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` was spilled (spills are rewritten before emission,
+    /// so any remaining reference to a spilled vreg is a bug).
+    pub fn reg(&self, v: VR) -> u8 {
+        self.assign[v as usize].expect("vreg was spilled but not rewritten")
+    }
+}
+
+/// Block-level liveness over a [`VFunc`] (only the out-sets are needed
+/// by the interference builder).
+struct VLiveness {
+    live_out: Vec<HashSet<VR>>,
+}
+
+fn compute_liveness(f: &VFunc) -> VLiveness {
+    let n = f.blocks.len();
+    let mut gen = vec![HashSet::new(); n];
+    let mut kill = vec![HashSet::new(); n];
+    let mut uses = Vec::new();
+    for (i, b) in f.blocks.iter().enumerate() {
+        for inst in &b.insts {
+            uses.clear();
+            inst.uses(&mut uses);
+            for &u in &uses {
+                if !kill[i].contains(&u) {
+                    gen[i].insert(u);
+                }
+            }
+            if let Some(d) = inst.def() {
+                kill[i].insert(d);
+            }
+        }
+        uses.clear();
+        b.term().uses(&mut uses);
+        for &u in &uses {
+            if !kill[i].contains(&u) {
+                gen[i].insert(u);
+            }
+        }
+    }
+    let succs: Vec<Vec<BlockId>> = f.blocks.iter().map(|b| b.term().successors()).collect();
+    let mut live_in = vec![HashSet::new(); n];
+    let mut live_out: Vec<HashSet<VR>> = vec![HashSet::new(); n];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for i in (0..n).rev() {
+            let mut out: HashSet<VR> = HashSet::new();
+            for s in &succs[i] {
+                out.extend(live_in[s.0 as usize].iter().copied());
+            }
+            let mut inn = out.clone();
+            for k in &kill[i] {
+                inn.remove(k);
+            }
+            inn.extend(gen[i].iter().copied());
+            if out != live_out[i] || inn != live_in[i] {
+                live_out[i] = out;
+                live_in[i] = inn;
+                changed = true;
+            }
+        }
+    }
+    VLiveness { live_out }
+}
+
+/// Interference graph (adjacency sets) plus across-call markers.
+struct Graph {
+    adj: Vec<HashSet<VR>>,
+    across_call: Vec<bool>,
+    cost: Vec<u64>,
+}
+
+fn build_graph(f: &VFunc, lv: &VLiveness, depth: &[u32]) -> Graph {
+    let n = f.classes.len();
+    let mut g = Graph {
+        adj: vec![HashSet::new(); n],
+        across_call: vec![false; n],
+        cost: vec![0; n],
+    };
+    let add_edge = |g: &mut Graph, a: VR, b: VR| {
+        if a != b && f.class_of(a) == f.class_of(b) {
+            g.adj[a as usize].insert(b);
+            g.adj[b as usize].insert(a);
+        }
+    };
+    // Parameters are defined "simultaneously" at entry.
+    for i in 0..f.params.len() {
+        for j in i + 1..f.params.len() {
+            add_edge(&mut g, f.params[i].0, f.params[j].0);
+        }
+    }
+    let mut uses = Vec::new();
+    for (bi, b) in f.blocks.iter().enumerate() {
+        let w = 10u64.pow(depth.get(bi).copied().unwrap_or(0).min(9));
+        let mut live: HashSet<VR> = lv.live_out[bi].clone();
+        uses.clear();
+        b.term().uses(&mut uses);
+        for &u in &uses {
+            g.cost[u as usize] += w;
+            live.insert(u);
+        }
+        for inst in b.insts.iter().rev() {
+            if let Some(d) = inst.def() {
+                g.cost[d as usize] += w;
+                live.remove(&d);
+                // Move sources don't interfere with the destination
+                // (enables natural coalescing by same-color assignment).
+                let move_src = match inst {
+                    VInst::Mov { src, .. } | VInst::FMov { src, .. } => Some(*src),
+                    _ => None,
+                };
+                for &l in &live {
+                    if Some(l) != move_src {
+                        add_edge(&mut g, d, l);
+                    }
+                }
+            }
+            if inst.is_call() {
+                for &l in &live {
+                    g.across_call[l as usize] = true;
+                }
+            }
+            uses.clear();
+            inst.uses(&mut uses);
+            for &u in &uses {
+                g.cost[u as usize] += w;
+                live.insert(u);
+            }
+        }
+    }
+    g
+}
+
+/// Allocate registers for `f`, rewriting spills in place.
+///
+/// `depth[b]` is the loop-nesting depth of block `b` (spill-cost weight).
+///
+/// # Panics
+///
+/// Panics if allocation fails to converge (more than 40 spill rounds),
+/// which would indicate a bug rather than a hard program.
+pub fn allocate(f: &mut VFunc, target: &TargetSpec, depth: &[u32]) -> Allocation {
+    for round in 0.. {
+        assert!(round < 40, "register allocation did not converge");
+        let lv = compute_liveness(f);
+        let g = build_graph(f, &lv, depth);
+        match try_color(f, target, &g) {
+            Ok(alloc) => return alloc,
+            Err(spills) => rewrite_spills(f, &spills),
+        }
+    }
+    unreachable!()
+}
+
+/// Attempt to color; on failure return the set of vregs to spill.
+fn try_color(f: &VFunc, target: &TargetSpec, g: &Graph) -> Result<Allocation, Vec<VR>> {
+    let n = f.classes.len();
+    // Available colors per node.
+    let avail = |v: VR| -> Vec<u8> {
+        let (caller_nums, callee_nums): (Vec<u8>, Vec<u8>) = match f.class_of(v) {
+            RegClass::Int => (
+                target.int_caller.iter().map(|r| r.0).collect(),
+                target.int_callee.iter().map(|r| r.0).collect(),
+            ),
+            RegClass::Float => (target.float_caller.clone(), target.float_callee.clone()),
+        };
+        if g.across_call[v as usize] {
+            callee_nums
+        } else {
+            // Prefer caller-saved (free), fall back to callee-saved.
+            caller_nums.into_iter().chain(callee_nums).collect()
+        }
+    };
+
+    let mut degree: Vec<usize> = g.adj.iter().map(|s| s.len()).collect();
+    let mut removed = vec![false; n];
+    let mut stack: Vec<(VR, bool)> = Vec::new(); // (vreg, may_spill)
+    let mut remaining: usize = n;
+
+    while remaining > 0 {
+        // Find a low-degree node.
+        let mut picked = None;
+        for v in 0..n as VR {
+            if !removed[v as usize] && degree[v as usize] < avail(v).len() {
+                picked = Some((v, false));
+                break;
+            }
+        }
+        // Otherwise pick the cheapest spill candidate.
+        if picked.is_none() {
+            let mut best: Option<(f64, VR)> = None;
+            for v in 0..n as VR {
+                if removed[v as usize] {
+                    continue;
+                }
+                let d = degree[v as usize].max(1) as f64;
+                let score = g.cost[v as usize] as f64 / d;
+                if best.map(|(s, _)| score < s).unwrap_or(true) {
+                    best = Some((score, v));
+                }
+            }
+            picked = best.map(|(_, v)| (v, true));
+        }
+        let (v, may_spill) = picked.expect("nonempty");
+        removed[v as usize] = true;
+        remaining -= 1;
+        for &w in &g.adj[v as usize] {
+            if !removed[w as usize] {
+                degree[w as usize] -= 1;
+            }
+        }
+        stack.push((v, may_spill));
+    }
+
+    let mut assign: Vec<Option<u8>> = vec![None; n];
+    let mut spilled: Vec<VR> = Vec::new();
+    while let Some((v, may_spill)) = stack.pop() {
+        let mut taken: HashSet<u8> = HashSet::new();
+        for &w in &g.adj[v as usize] {
+            if let Some(c) = assign[w as usize] {
+                taken.insert(c);
+            }
+        }
+        // Color-preference: reuse the source color of a move when free
+        // would require move metadata; keep it simple and take the first
+        // free color in preference order.
+        match avail(v).into_iter().find(|c| !taken.contains(c)) {
+            Some(c) => assign[v as usize] = Some(c),
+            None => {
+                debug_assert!(may_spill || g.adj[v as usize].len() >= avail(v).len());
+                spilled.push(v);
+            }
+        }
+    }
+    if !spilled.is_empty() {
+        return Err(spilled);
+    }
+
+    let mut used_int_callee: Vec<u8> = Vec::new();
+    let mut used_float_callee: Vec<u8> = Vec::new();
+    for v in 0..n as VR {
+        if let Some(c) = assign[v as usize] {
+            match f.class_of(v) {
+                RegClass::Int => {
+                    if target.int_callee.iter().any(|r| r.0 == c)
+                        && !used_int_callee.contains(&c)
+                    {
+                        used_int_callee.push(c);
+                    }
+                }
+                RegClass::Float => {
+                    if target.float_callee.contains(&c) && !used_float_callee.contains(&c) {
+                        used_float_callee.push(c);
+                    }
+                }
+            }
+        }
+    }
+    used_int_callee.sort_unstable();
+    used_float_callee.sort_unstable();
+    Ok(Allocation {
+        assign,
+        used_int_callee,
+        used_float_callee,
+    })
+}
+
+/// Rewrite spilled vregs: each use reloads into a fresh temp, each def
+/// stores from a fresh temp. Parameters that spill are handled by the
+/// prologue (emission), which stores the incoming argument directly.
+fn rewrite_spills(f: &mut VFunc, spills: &[VR]) {
+    let mut slot_of: Vec<Option<u32>> = vec![None; f.classes.len()];
+    for &v in spills {
+        let s = f.num_spills;
+        f.num_spills += 1;
+        slot_of[v as usize] = Some(s);
+    }
+    // Spilled parameters are stored by the prologue at emission time
+    // (the incoming argument register or stack word goes straight to the
+    // spill slot).
+    for &(p, _) in &f.params {
+        if let Some(s) = slot_of[p as usize] {
+            f.spilled_params.push((p, s));
+        }
+    }
+
+    let nblocks = f.blocks.len();
+    for bi in 0..nblocks {
+        let mut old = std::mem::take(&mut f.blocks[bi]);
+        let mut new = VBlock::default();
+        let mut uses = Vec::new();
+        for mut inst in old.insts.drain(..) {
+            uses.clear();
+            inst.uses(&mut uses);
+            // Reload spilled uses into temps.
+            for &u in uses.iter().collect::<HashSet<_>>() {
+                if let Some(s) = slot_of[u as usize] {
+                    let class = f.class_of(u);
+                    let t = f.new_vreg(class);
+                    new.insts.push(VInst::FrameLoad {
+                        dst: t,
+                        fref: FrameRef::Spill(s),
+                        float: class == RegClass::Float,
+                    });
+                    substitute(&mut inst, u, t);
+                }
+            }
+            // Def → temp + store.
+            if let Some(d) = inst.def() {
+                if let Some(s) = slot_of[d as usize] {
+                    let class = f.class_of(d);
+                    let t = f.new_vreg(class);
+                    substitute_def(&mut inst, d, t);
+                    new.insts.push(inst);
+                    new.insts.push(VInst::FrameStore {
+                        src: t,
+                        fref: FrameRef::Spill(s),
+                        float: class == RegClass::Float,
+                    });
+                    continue;
+                }
+            }
+            new.insts.push(inst);
+        }
+        // Terminator uses.
+        let mut term = old.term.take().expect("terminated");
+        uses.clear();
+        term.uses(&mut uses);
+        for &u in uses.iter().collect::<HashSet<_>>() {
+            if let Some(s) = slot_of[u as usize] {
+                let class = f.class_of(u);
+                let t = f.new_vreg(class);
+                new.insts.push(VInst::FrameLoad {
+                    dst: t,
+                    fref: FrameRef::Spill(s),
+                    float: class == RegClass::Float,
+                });
+                substitute_term(&mut term, u, t);
+            }
+        }
+        new.term = Some(term);
+        f.blocks[bi] = new;
+    }
+}
+
+fn substitute(inst: &mut VInst, from: VR, to: VR) {
+    let fix = |v: &mut VR| {
+        if *v == from {
+            *v = to;
+        }
+    };
+    let fix_src = |s: &mut crate::vcode::VSrc| {
+        if let crate::vcode::VSrc::V(v) = s {
+            if *v == from {
+                *v = to;
+            }
+        }
+    };
+    match inst {
+        VInst::Alu { a, b, .. } => {
+            fix(a);
+            fix_src(b);
+        }
+        VInst::Mov { src, .. }
+        | VInst::FMov { src, .. }
+        | VInst::FNeg { src, .. }
+        | VInst::ItoF { src, .. }
+        | VInst::FtoI { src, .. } => fix(src),
+        VInst::Load { base, .. } | VInst::LoadF { base, .. } => fix(base),
+        VInst::Store { src, base, .. } | VInst::StoreF { src, base, .. } => {
+            fix(src);
+            fix(base);
+        }
+        VInst::FrameStore { src, .. } => fix(src),
+        VInst::Fpu { a, b, .. } => {
+            fix(a);
+            fix(b);
+        }
+        VInst::Call { args, .. } => args.iter_mut().for_each(fix),
+        VInst::Li { .. } | VInst::La { .. } | VInst::FrameAddr { .. } | VInst::FrameLoad { .. } => {}
+    }
+}
+
+fn substitute_def(inst: &mut VInst, from: VR, to: VR) {
+    match inst {
+        VInst::Alu { dst, .. }
+        | VInst::Li { dst, .. }
+        | VInst::La { dst, .. }
+        | VInst::Mov { dst, .. }
+        | VInst::Load { dst, .. }
+        | VInst::LoadF { dst, .. }
+        | VInst::FrameAddr { dst, .. }
+        | VInst::FrameLoad { dst, .. }
+        | VInst::Fpu { dst, .. }
+        | VInst::FNeg { dst, .. }
+        | VInst::FMov { dst, .. }
+        | VInst::ItoF { dst, .. }
+        | VInst::FtoI { dst, .. } => {
+            if *dst == from {
+                *dst = to;
+            }
+        }
+        VInst::Call { dst, .. } => {
+            if *dst == Some(from) {
+                *dst = Some(to);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn substitute_term(term: &mut crate::vcode::VTerm, from: VR, to: VR) {
+    use crate::vcode::{VSrc, VTerm};
+    match term {
+        VTerm::Branch { a, b, .. } => {
+            if *a == from {
+                *a = to;
+            }
+            if let VSrc::V(v) = b {
+                if *v == from {
+                    *v = to;
+                }
+            }
+        }
+        VTerm::Switch { idx, .. } => {
+            if *idx == from {
+                *idx = to;
+            }
+        }
+        VTerm::Ret(Some((VSrc::V(v), _))) => {
+            if *v == from {
+                *v = to;
+            }
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isel::{select, ConstPool};
+    use br_frontend::compile;
+    use br_isa::Machine;
+
+    fn alloc_for(src: &str, name: &str, machine: Machine) -> (VFunc, Allocation) {
+        let m = compile(src).unwrap();
+        let f = m.function(name).unwrap();
+        let t = TargetSpec::for_machine(machine);
+        let mut pool = ConstPool::new();
+        let mut vf = select(&m, f, &t, &mut pool);
+        let depth = vec![0u32; vf.blocks.len()];
+        let a = allocate(&mut vf, &t, &depth);
+        (vf, a)
+    }
+
+    /// Check that no two interfering vregs share a register by re-running
+    /// liveness on the rewritten function.
+    fn check_valid(f: &VFunc, a: &Allocation) {
+        let lv = compute_liveness(f);
+        let depth = vec![0; f.blocks.len()];
+        let g = build_graph(f, &lv, &depth);
+        for v in 0..f.classes.len() as VR {
+            for &w in &g.adj[v as usize] {
+                let (cv, cw) = (a.assign[v as usize], a.assign[w as usize]);
+                if let (Some(cv), Some(cw)) = (cv, cw) {
+                    assert!(
+                        cv != cw,
+                        "interfering vregs {v} and {w} share register {cv}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn simple_function_allocates_without_spills() {
+        let (vf, a) = alloc_for("int f(int x, int y) { return x * y + x; }", "f", Machine::Baseline);
+        assert_eq!(vf.num_spills, 0);
+        check_valid(&vf, &a);
+    }
+
+    #[test]
+    fn values_across_calls_get_callee_saved_registers() {
+        let src = r#"
+            int g(int x) { return x + 1; }
+            int f(int a, int b) { int c = a * b; g(a); return c + b; }
+        "#;
+        let (vf, a) = alloc_for(src, "f", Machine::BranchReg);
+        check_valid(&vf, &a);
+        let t = TargetSpec::for_machine(Machine::BranchReg);
+        // Some callee-saved register must be in use (c and b live across).
+        assert!(!a.used_int_callee.is_empty());
+        for &c in &a.used_int_callee {
+            assert!(t.int_callee.iter().any(|r| r.0 == c));
+        }
+    }
+
+    #[test]
+    fn high_pressure_forces_spills_on_br_machine() {
+        // 20 simultaneously-live sums exceed the BR machine's ~13
+        // allocatable integer registers.
+        let mut body = String::new();
+        for i in 0..20 {
+            body.push_str(&format!("int v{i} = a + {i};\n"));
+        }
+        body.push_str("g(a);\n");
+        let mut sum = String::from("return 0");
+        for i in 0..20 {
+            sum.push_str(&format!(" + v{i}"));
+        }
+        sum.push(';');
+        let src = format!(
+            "int g(int x) {{ return x; }}\nint f(int a) {{ {body} {sum} }}"
+        );
+        let (vf_base, ab) = alloc_for(&src, "f", Machine::Baseline);
+        let (vf_br, abr) = alloc_for(&src, "f", Machine::BranchReg);
+        check_valid(&vf_base, &ab);
+        check_valid(&vf_br, &abr);
+        // The BR machine must spill more than the baseline — this is the
+        // mechanism behind Table I's extra data references.
+        assert!(vf_br.num_spills > vf_base.num_spills);
+    }
+
+    #[test]
+    fn float_registers_allocated_separately() {
+        let (vf, a) = alloc_for(
+            "float f(float x, float y) { return x * y + x / y; }",
+            "f",
+            Machine::Baseline,
+        );
+        check_valid(&vf, &a);
+        assert_eq!(vf.num_spills, 0);
+    }
+
+    #[test]
+    fn spilled_code_still_colors() {
+        let mut body = String::new();
+        for i in 0..40 {
+            body.push_str(&format!("int v{i} = a * {i};\n"));
+        }
+        let mut sum = String::from("return 0");
+        for i in 0..40 {
+            sum.push_str(&format!(" + v{i}"));
+        }
+        sum.push(';');
+        let src = format!("int f(int a) {{ {body} {sum} }}");
+        let (vf, a) = alloc_for(&src, "f", Machine::BranchReg);
+        check_valid(&vf, &a);
+        // Every original vreg is either assigned or was rewritten away.
+        for v in 0..vf.classes.len() {
+            let referenced = vf.blocks.iter().any(|b| {
+                let mut u = Vec::new();
+                b.insts.iter().for_each(|i| {
+                    i.uses(&mut u);
+                    if let Some(d) = i.def() {
+                        u.push(d);
+                    }
+                });
+                b.term().uses(&mut u);
+                u.contains(&(v as VR))
+            });
+            if referenced {
+                assert!(a.assign[v].is_some(), "live vreg {v} lacks a register");
+            }
+        }
+    }
+}

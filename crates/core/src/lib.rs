@@ -1,0 +1,375 @@
+//! `br-core` — the end-to-end experiment pipeline of the reproduction.
+//!
+//! This crate corresponds to the paper's methodology as a whole: MiniC
+//! source is compiled for **both** machines, assembled, executed in the
+//! measuring emulators, and the dynamic counts are compared — Table I,
+//! the Section 7 prose statistics, and the Section 6/7 cycle estimates
+//! all fall out of [`SuiteReport`].
+//!
+//! # Quickstart
+//!
+//! ```
+//! use br_core::Experiment;
+//!
+//! let src = "int main() { int s = 0; for (int i = 0; i < 50; i++) s += i; return s % 256; }";
+//! let cmp = Experiment::new().run_comparison("demo", src)?;
+//! assert_eq!(cmp.baseline.exit, cmp.brmach.exit);
+//! assert!(cmp.brmach.meas.instructions < cmp.baseline.meas.instructions);
+//! # Ok::<(), br_core::Error>(())
+//! ```
+
+use std::fmt;
+
+pub use br_codegen::{BaseOptions, BrOptions, CodegenStats};
+pub use br_emu::{EmuError, Measurements};
+pub use br_frontend::CompileError;
+pub use br_icache::{CacheConfig, CacheStats, ICacheSim};
+pub use br_isa::{Machine, Program};
+pub use br_pipeline as pipeline;
+pub use br_workloads::{by_name, suite, Scale, Workload};
+
+/// Unified error type of the experiment pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// MiniC front-end error.
+    Compile(CompileError),
+    /// Assembler error.
+    Asm(String),
+    /// Emulation error.
+    Emu(EmuError),
+    /// The two machines disagreed on a program's result — a codegen bug.
+    Mismatch {
+        name: String,
+        baseline: i32,
+        brmach: i32,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Compile(e) => write!(f, "compile error: {e}"),
+            Error::Asm(e) => write!(f, "assembler error: {e}"),
+            Error::Emu(e) => write!(f, "emulation error: {e}"),
+            Error::Mismatch {
+                name,
+                baseline,
+                brmach,
+            } => write!(
+                f,
+                "machines disagree on {name}: baseline={baseline} branch-register={brmach}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<CompileError> for Error {
+    fn from(e: CompileError) -> Error {
+        Error::Compile(e)
+    }
+}
+
+impl From<EmuError> for Error {
+    fn from(e: EmuError) -> Error {
+        Error::Emu(e)
+    }
+}
+
+/// The outcome of running one program on one machine.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Program exit value (from `r[1]`).
+    pub exit: i32,
+    /// Dynamic measurements.
+    pub meas: Measurements,
+    /// Static code-generation statistics.
+    pub stats: CodegenStats,
+    /// Static instruction count of the binary.
+    pub static_insts: usize,
+}
+
+/// A program run on both machines.
+#[derive(Debug, Clone)]
+pub struct ProgramComparison {
+    /// Program name.
+    pub name: String,
+    /// Baseline-machine results.
+    pub baseline: RunResult,
+    /// Branch-register-machine results.
+    pub brmach: RunResult,
+}
+
+/// Experiment driver with configurable code-generation options.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    /// Baseline codegen options.
+    pub base_opts: BaseOptions,
+    /// Branch-register codegen options.
+    pub br_opts: BrOptions,
+    /// Emulation instruction budget per run.
+    pub fuel: u64,
+}
+
+impl Default for Experiment {
+    fn default() -> Experiment {
+        Experiment {
+            base_opts: BaseOptions::default(),
+            br_opts: BrOptions::default(),
+            fuel: 4_000_000_000,
+        }
+    }
+}
+
+impl Experiment {
+    /// An experiment with the paper's configuration.
+    pub fn new() -> Experiment {
+        Experiment::default()
+    }
+
+    /// Compile MiniC source for one machine.
+    ///
+    /// # Errors
+    ///
+    /// Front-end or assembler errors.
+    pub fn compile(&self, src: &str, machine: Machine) -> Result<(Program, CodegenStats), Error> {
+        let module = br_frontend::compile(src)?;
+        let out = br_codegen::compile_module(&module, machine, self.base_opts, self.br_opts);
+        let prog = out.asm.assemble().map_err(|e| Error::Asm(e.to_string()))?;
+        Ok((prog, out.stats))
+    }
+
+    /// Compile and run on one machine.
+    ///
+    /// # Errors
+    ///
+    /// Any pipeline error.
+    pub fn run(&self, src: &str, machine: Machine) -> Result<RunResult, Error> {
+        let (prog, stats) = self.compile(src, machine)?;
+        let mut emu = br_emu::Emulator::new(&prog);
+        let exit = emu.run(self.fuel)?;
+        Ok(RunResult {
+            exit,
+            meas: emu.measurements().clone(),
+            stats,
+            static_insts: prog.static_inst_count(),
+        })
+    }
+
+    /// Compile and run with an instruction-cache simulator attached.
+    ///
+    /// # Errors
+    ///
+    /// Any pipeline error.
+    pub fn run_with_cache(
+        &self,
+        src: &str,
+        machine: Machine,
+        cfg: CacheConfig,
+    ) -> Result<(RunResult, CacheStats), Error> {
+        let (prog, stats) = self.compile(src, machine)?;
+        let mut cache = ICacheSim::new(cfg);
+        let mut emu = br_emu::Emulator::new(&prog);
+        let exit = emu.run_with_hook(self.fuel, &mut cache)?;
+        Ok((
+            RunResult {
+                exit,
+                meas: emu.measurements().clone(),
+                stats,
+                static_insts: prog.static_inst_count(),
+            },
+            *cache.stats(),
+        ))
+    }
+
+    /// Run `src` on both machines and check they agree.
+    ///
+    /// # Errors
+    ///
+    /// Any pipeline error, or [`Error::Mismatch`] when the machines
+    /// disagree.
+    pub fn run_comparison(&self, name: &str, src: &str) -> Result<ProgramComparison, Error> {
+        let baseline = self.run(src, Machine::Baseline)?;
+        let brmach = self.run(src, Machine::BranchReg)?;
+        if baseline.exit != brmach.exit {
+            return Err(Error::Mismatch {
+                name: name.to_string(),
+                baseline: baseline.exit,
+                brmach: brmach.exit,
+            });
+        }
+        Ok(ProgramComparison {
+            name: name.to_string(),
+            baseline,
+            brmach,
+        })
+    }
+
+    /// Run the full Appendix I suite at `scale`.
+    ///
+    /// # Errors
+    ///
+    /// The first failing program's error.
+    pub fn run_suite(&self, scale: Scale) -> Result<SuiteReport, Error> {
+        let mut rows = Vec::new();
+        for w in suite(scale) {
+            rows.push(self.run_comparison(w.name, &w.source)?);
+        }
+        Ok(SuiteReport { rows })
+    }
+}
+
+/// Results over the whole suite — the raw material of Table I and the
+/// Section 7 statistics.
+#[derive(Debug, Clone)]
+pub struct SuiteReport {
+    /// Per-program comparisons.
+    pub rows: Vec<ProgramComparison>,
+}
+
+impl SuiteReport {
+    /// Suite-total measurements for (baseline, branch-register).
+    pub fn totals(&self) -> (Measurements, Measurements) {
+        let mut base = Measurements::new();
+        let mut brm = Measurements::new();
+        for r in &self.rows {
+            base.accumulate(&r.baseline.meas);
+            brm.accumulate(&r.brmach.meas);
+        }
+        (base, brm)
+    }
+
+    /// Suite-total codegen statistics for (baseline, branch-register).
+    pub fn stats_totals(&self) -> (CodegenStats, CodegenStats) {
+        let mut base = CodegenStats::default();
+        let mut brm = CodegenStats::default();
+        for r in &self.rows {
+            base.accumulate(&r.baseline.stats);
+            brm.accumulate(&r.brmach.stats);
+        }
+        (base, brm)
+    }
+
+    /// Table I: (baseline instructions, BR instructions, instruction
+    /// diff %, baseline data refs, BR data refs, data-ref diff %).
+    pub fn table1(&self) -> Table1 {
+        let (b, r) = self.totals();
+        Table1 {
+            baseline_insts: b.instructions,
+            brmach_insts: r.instructions,
+            inst_diff_pct: pct_change(b.instructions, r.instructions),
+            baseline_refs: b.data_refs,
+            brmach_refs: r.data_refs,
+            refs_diff_pct: pct_change(b.data_refs, r.data_refs),
+        }
+    }
+}
+
+/// The dynamic-measurement summary corresponding to the paper's Table I.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table1 {
+    pub baseline_insts: u64,
+    pub brmach_insts: u64,
+    /// Negative = the BR machine executed fewer (paper: −6.8%).
+    pub inst_diff_pct: f64,
+    pub baseline_refs: u64,
+    pub brmach_refs: u64,
+    /// Positive = the BR machine made more (paper: +2.0%).
+    pub refs_diff_pct: f64,
+}
+
+fn pct_change(from: u64, to: u64) -> f64 {
+    if from == 0 {
+        0.0
+    } else {
+        (to as f64 - from as f64) / from as f64 * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use br_ir::Interpreter;
+
+    #[test]
+    fn simple_program_agrees_across_all_three_executions() {
+        let src = "int main() { int s = 1; for (int i = 1; i <= 10; i++) s = s * i % 97; return s; }";
+        let module = br_frontend::compile(src).unwrap();
+        let expected = Interpreter::new(&module).run("main", &[]).unwrap();
+        let cmp = Experiment::new().run_comparison("t", src).unwrap();
+        assert_eq!(cmp.baseline.exit, expected);
+        assert_eq!(cmp.brmach.exit, expected);
+    }
+
+    /// The acid test of the reproduction: every Appendix I program must
+    /// agree between the IR interpreter and both emulated machines.
+    #[test]
+    fn every_workload_is_consistent_across_all_three_executions() {
+        let exp = Experiment::new();
+        for w in suite(Scale::Test) {
+            let module = br_frontend::compile(&w.source)
+                .unwrap_or_else(|e| panic!("{} does not compile: {e}", w.name));
+            let expected = Interpreter::new(&module)
+                .run("main", &[])
+                .unwrap_or_else(|e| panic!("{} interpreter failed: {e}", w.name));
+            let cmp = exp
+                .run_comparison(w.name, &w.source)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", w.name));
+            assert_eq!(cmp.baseline.exit, expected, "{} baseline", w.name);
+            assert_eq!(cmp.brmach.exit, expected, "{} branch-register", w.name);
+        }
+    }
+
+    #[test]
+    fn suite_report_reproduces_table1_shape() {
+        let report = Experiment::new().run_suite(Scale::Test).unwrap();
+        let t = report.table1();
+        // The headline result: fewer instructions on the BR machine,
+        // slightly more data references.
+        assert!(
+            t.inst_diff_pct < 0.0,
+            "expected fewer BR instructions, got {t:?}"
+        );
+        assert!(
+            t.refs_diff_pct >= 0.0,
+            "expected at least as many BR data refs, got {t:?}"
+        );
+        // ~14% of baseline instructions are transfers (paper's figure);
+        // accept a generous band for the small test scale.
+        let (b, _) = report.totals();
+        let frac = b.transfer_fraction();
+        assert!(
+            frac > 0.05 && frac < 0.30,
+            "baseline transfer fraction {frac}"
+        );
+    }
+
+    #[test]
+    fn cycle_estimates_favor_branch_registers() {
+        let report = Experiment::new().run_suite(Scale::Test).unwrap();
+        let (b, r) = report.totals();
+        let c3 = pipeline::compare(&b, &r, 3);
+        assert!(c3.saving > 0.0, "3-stage saving {c3:?}");
+        let c4 = pipeline::compare(&b, &r, 4);
+        assert!(c4.saving > c3.saving, "deeper pipeline saves more");
+    }
+
+    #[test]
+    fn cache_simulation_attaches() {
+        let src = "int main() { int s = 0; for (int i = 0; i < 200; i++) s += i; return s % 256; }";
+        let exp = Experiment::new();
+        let (run, cache) = exp
+            .run_with_cache(src, Machine::BranchReg, CacheConfig::default())
+            .unwrap();
+        assert_eq!(cache.fetches, run.meas.instructions);
+        assert!(cache.hits + cache.misses + cache.prefetch_hits + cache.late_prefetch_hits > 0);
+    }
+
+    #[test]
+    fn mismatch_error_is_reported() {
+        // Sanity: identical programs cannot mismatch.
+        let ok = Experiment::new().run_comparison("x", "int main() { return 3; }");
+        assert!(ok.is_ok());
+    }
+}

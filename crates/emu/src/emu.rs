@@ -1,0 +1,914 @@
+//! Cycle-level functional emulators for both machines.
+
+use std::fmt;
+
+use br_isa::{abi, AluOp, FpuOp, MInst, Machine, MemWidth, Program, Src2, TextWord};
+
+use crate::hooks::ExecHook;
+use crate::measure::Measurements;
+
+/// Runtime errors during emulation. Most indicate a code-generation bug,
+/// so the error carries the faulting PC for debugging.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EmuError {
+    /// PC left the text segment.
+    BadFetch(u32),
+    /// Attempted to execute an embedded data word (jump table).
+    ExecutedData(u32),
+    /// Data access outside simulated memory.
+    BadMem { pc: u32, addr: u32 },
+    /// Integer division by zero.
+    DivByZero(u32),
+    /// Instruction budget exhausted.
+    OutOfFuel,
+    /// Baseline: a branch appeared inside a delay slot.
+    BranchInDelaySlot(u32),
+    /// An instruction illegal for this machine reached execution.
+    WrongMachine(u32),
+}
+
+impl fmt::Display for EmuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EmuError::BadFetch(pc) => write!(f, "bad instruction fetch at {pc:#x}"),
+            EmuError::ExecutedData(pc) => write!(f, "executed data word at {pc:#x}"),
+            EmuError::BadMem { pc, addr } => {
+                write!(f, "bad memory access to {addr:#x} at pc {pc:#x}")
+            }
+            EmuError::DivByZero(pc) => write!(f, "division by zero at pc {pc:#x}"),
+            EmuError::OutOfFuel => write!(f, "instruction budget exhausted"),
+            EmuError::BranchInDelaySlot(pc) => write!(f, "branch in delay slot at {pc:#x}"),
+            EmuError::WrongMachine(pc) => write!(f, "illegal instruction at {pc:#x}"),
+        }
+    }
+}
+
+impl std::error::Error for EmuError {}
+
+/// Prefetch-state of one branch register (drives the Figure 9 distance
+/// accounting).
+#[derive(Debug, Clone, Copy)]
+struct BrState {
+    /// Dynamic instruction index at which the current value's target
+    /// prefetch was initiated.
+    assign_time: u64,
+    /// Whether the value was produced by a compare-with-assignment
+    /// (meaning a transfer through it is a *conditional* transfer).
+    from_cond: bool,
+}
+
+/// An emulator instance bound to one assembled [`Program`].
+///
+/// # Example
+///
+/// ```no_run
+/// use br_emu::Emulator;
+/// # fn get_program() -> br_isa::Program { unimplemented!() }
+/// let program = get_program();
+/// let mut emu = Emulator::new(&program);
+/// let exit = emu.run(1_000_000)?;
+/// println!("exit={exit}, {} instructions", emu.measurements().instructions);
+/// # Ok::<(), br_emu::EmuError>(())
+/// ```
+pub struct Emulator<'p> {
+    prog: &'p Program,
+    mem: Vec<u8>,
+    regs: [i32; 32],
+    fregs: [f32; 32],
+    bregs: [u32; 8],
+    brstate: [BrState; 8],
+    /// Last integer compare operands (baseline condition codes).
+    cc: (i32, i32),
+    /// Last float compare operands.
+    fcc: (f32, f32),
+    pc: u32,
+    meas: Measurements,
+}
+
+impl<'p> Emulator<'p> {
+    /// Create an emulator with the program loaded: text copied at
+    /// [`abi::TEXT_BASE`] (so jump tables are readable), data at
+    /// [`abi::DATA_BASE`], stack pointer at [`abi::STACK_TOP`].
+    pub fn new(prog: &'p Program) -> Emulator<'p> {
+        let mut mem = vec![0u8; abi::MEM_SIZE as usize];
+        for (i, w) in prog.code.iter().enumerate() {
+            let a = abi::TEXT_BASE as usize + i * 4;
+            mem[a..a + 4].copy_from_slice(&w.to_le_bytes());
+        }
+        let d = abi::DATA_BASE as usize;
+        mem[d..d + prog.data.len()].copy_from_slice(&prog.data);
+        let mut regs = [0i32; 32];
+        let sp = match prog.machine {
+            Machine::Baseline => abi::BASE_SP,
+            Machine::BranchReg => abi::BR_SP,
+        };
+        regs[sp.0 as usize] = abi::STACK_TOP as i32;
+        Emulator {
+            prog,
+            mem,
+            regs,
+            fregs: [0.0; 32],
+            bregs: [0; 8],
+            brstate: [BrState {
+                assign_time: 0,
+                from_cond: false,
+            }; 8],
+            cc: (0, 0),
+            fcc: (0.0, 0.0),
+            pc: prog.entry,
+            meas: Measurements::new(),
+        }
+    }
+
+    /// The collected dynamic measurements.
+    pub fn measurements(&self) -> &Measurements {
+        &self.meas
+    }
+
+    /// Read a 32-bit word from simulated memory (for checking results).
+    pub fn read_word(&self, addr: u32) -> Option<i32> {
+        let a = addr as usize;
+        self.mem
+            .get(a..a + 4)
+            .map(|b| i32::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    /// Value of a data register.
+    pub fn reg(&self, n: u8) -> i32 {
+        self.regs[n as usize]
+    }
+
+    /// Run to `halt` with no hooks.
+    ///
+    /// # Errors
+    ///
+    /// See [`EmuError`].
+    pub fn run(&mut self, fuel: u64) -> Result<i32, EmuError> {
+        self.run_with_hook(fuel, &mut crate::hooks::NoHook)
+    }
+
+    /// Run to `halt`, reporting fetches and prefetches to `hook`
+    /// (used by the instruction-cache simulator).
+    ///
+    /// # Errors
+    ///
+    /// See [`EmuError`].
+    pub fn run_with_hook(&mut self, fuel: u64, hook: &mut dyn ExecHook) -> Result<i32, EmuError> {
+        match self.prog.machine {
+            Machine::Baseline => self.run_baseline(fuel, hook),
+            Machine::BranchReg => self.run_brmachine(fuel, hook),
+        }
+    }
+
+    fn fetch(&self, pc: u32) -> Result<MInst, EmuError> {
+        match self.prog.fetch(pc) {
+            Some(TextWord::Inst(i)) => Ok(*i),
+            Some(TextWord::Data(_)) => Err(EmuError::ExecutedData(pc)),
+            None => Err(EmuError::BadFetch(pc)),
+        }
+    }
+
+    fn load(&mut self, pc: u32, addr: u32, w: MemWidth) -> Result<i32, EmuError> {
+        self.meas.data_refs += 1;
+        let a = addr as usize;
+        match w {
+            MemWidth::Byte => self
+                .mem
+                .get(a)
+                .map(|&b| b as i32)
+                .ok_or(EmuError::BadMem { pc, addr }),
+            MemWidth::Word => self
+                .mem
+                .get(a..a + 4)
+                .map(|b| i32::from_le_bytes(b.try_into().unwrap()))
+                .ok_or(EmuError::BadMem { pc, addr }),
+        }
+    }
+
+    fn store(&mut self, pc: u32, addr: u32, v: i32, w: MemWidth) -> Result<(), EmuError> {
+        self.meas.data_refs += 1;
+        let a = addr as usize;
+        match w {
+            MemWidth::Byte => {
+                *self.mem.get_mut(a).ok_or(EmuError::BadMem { pc, addr })? = v as u8;
+            }
+            MemWidth::Word => {
+                let slice = self
+                    .mem
+                    .get_mut(a..a + 4)
+                    .ok_or(EmuError::BadMem { pc, addr })?;
+                slice.copy_from_slice(&v.to_le_bytes());
+            }
+        }
+        Ok(())
+    }
+
+    fn set_reg(&mut self, r: br_isa::Reg, v: i32) {
+        if r.0 != 0 {
+            self.regs[r.0 as usize] = v;
+        }
+    }
+
+    fn src2(&self, s: Src2) -> i32 {
+        match s {
+            Src2::Reg(r) => self.regs[r.0 as usize],
+            Src2::Imm(v) => v,
+        }
+    }
+
+    fn alu(&self, pc: u32, op: AluOp, a: i32, b: i32) -> Result<i32, EmuError> {
+        Ok(match op {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::Mul => a.wrapping_mul(b),
+            AluOp::Div => {
+                if b == 0 {
+                    return Err(EmuError::DivByZero(pc));
+                }
+                a.wrapping_div(b)
+            }
+            AluOp::Rem => {
+                if b == 0 {
+                    return Err(EmuError::DivByZero(pc));
+                }
+                a.wrapping_rem(b)
+            }
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Sll => a.wrapping_shl(b as u32 & 31),
+            AluOp::Srl => ((a as u32) >> (b as u32 & 31)) as i32,
+            AluOp::Sra => a >> (b as u32 & 31),
+            AluOp::OrLo => a | b, // immediate already zero-extended
+        })
+    }
+
+    /// Execute the machine-independent instruction body. Returns `true`
+    /// if the instruction was handled.
+    fn exec_shared(&mut self, pc: u32, inst: MInst) -> Result<bool, EmuError> {
+        match inst {
+            MInst::Nop { .. } => {
+                self.meas.noops += 1;
+            }
+            MInst::Alu {
+                op, rd, rs1, src2, ..
+            } => {
+                let v = self.alu(pc, op, self.regs[rs1.0 as usize], self.src2(src2))?;
+                self.set_reg(rd, v);
+            }
+            MInst::Sethi { rd, imm } => self.set_reg(rd, (imm << 11) as i32),
+            MInst::Load {
+                w, rd, rs1, off, ..
+            } => {
+                let addr = (self.regs[rs1.0 as usize] as u32).wrapping_add(off as u32);
+                let v = self.load(pc, addr, w)?;
+                self.set_reg(rd, v);
+            }
+            MInst::LoadF { fd, rs1, off, .. } => {
+                let addr = (self.regs[rs1.0 as usize] as u32).wrapping_add(off as u32);
+                let v = self.load(pc, addr, MemWidth::Word)?;
+                self.fregs[fd.0 as usize] = f32::from_bits(v as u32);
+            }
+            MInst::Store {
+                w, rs, rs1, off, ..
+            } => {
+                let addr = (self.regs[rs1.0 as usize] as u32).wrapping_add(off as u32);
+                self.store(pc, addr, self.regs[rs.0 as usize], w)?;
+            }
+            MInst::StoreF { fs, rs1, off, .. } => {
+                let addr = (self.regs[rs1.0 as usize] as u32).wrapping_add(off as u32);
+                self.store(pc, addr, self.fregs[fs.0 as usize].to_bits() as i32, MemWidth::Word)?;
+            }
+            MInst::Fpu {
+                op, fd, fs1, fs2, ..
+            } => {
+                let a = self.fregs[fs1.0 as usize];
+                let b = self.fregs[fs2.0 as usize];
+                self.fregs[fd.0 as usize] = match op {
+                    FpuOp::FAdd => a + b,
+                    FpuOp::FSub => a - b,
+                    FpuOp::FMul => a * b,
+                    FpuOp::FDiv => a / b,
+                };
+            }
+            MInst::FNeg { fd, fs, .. } => self.fregs[fd.0 as usize] = -self.fregs[fs.0 as usize],
+            MInst::FMov { fd, fs, .. } => self.fregs[fd.0 as usize] = self.fregs[fs.0 as usize],
+            MInst::ItoF { fd, rs, .. } => {
+                self.fregs[fd.0 as usize] = self.regs[rs.0 as usize] as f32
+            }
+            MInst::FtoI { rd, fs, .. } => {
+                let v = self.fregs[fs.0 as usize];
+                self.set_reg(rd, v as i32);
+            }
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    // ---------------- baseline machine ----------------
+
+    fn run_baseline(&mut self, fuel: u64, hook: &mut dyn ExecHook) -> Result<i32, EmuError> {
+        // `pending`: target of a taken delayed branch; the instruction at
+        // `pc` (the delay slot) executes first.
+        let mut pending: Option<u32> = None;
+        loop {
+            if self.meas.instructions >= fuel {
+                return Err(EmuError::OutOfFuel);
+            }
+            let pc = self.pc;
+            let inst = self.fetch(pc)?;
+            hook.fetch(pc);
+            self.meas.instructions += 1;
+            let in_delay_slot = pending.is_some();
+
+            if self.exec_shared(pc, inst)? {
+                // fall through
+            } else {
+                match inst {
+                    MInst::Halt => return Ok(self.regs[1]),
+                    MInst::Cmp { rs1, src2 } => {
+                        self.cc = (self.regs[rs1.0 as usize], self.src2(src2));
+                    }
+                    MInst::FCmp { fs1, fs2 } => {
+                        self.fcc = (self.fregs[fs1.0 as usize], self.fregs[fs2.0 as usize]);
+                    }
+                    MInst::Bcc { cc, float, disp } => {
+                        if in_delay_slot {
+                            return Err(EmuError::BranchInDelaySlot(pc));
+                        }
+                        self.meas.transfers += 1;
+                        self.meas.cond_transfers += 1;
+                        let taken = if float {
+                            cc.eval_float(self.fcc.0, self.fcc.1)
+                        } else {
+                            cc.eval_int(self.cc.0, self.cc.1)
+                        };
+                        if taken {
+                            self.meas.cond_taken += 1;
+                            pending = Some(pc.wrapping_add((disp as u32) << 2));
+                            self.pc = pc + 4;
+                            continue;
+                        }
+                    }
+                    MInst::Ba { disp } => {
+                        if in_delay_slot {
+                            return Err(EmuError::BranchInDelaySlot(pc));
+                        }
+                        self.meas.transfers += 1;
+                        self.meas.uncond_transfers += 1;
+                        pending = Some(pc.wrapping_add((disp as u32) << 2));
+                        self.pc = pc + 4;
+                        continue;
+                    }
+                    MInst::Call { disp } => {
+                        if in_delay_slot {
+                            return Err(EmuError::BranchInDelaySlot(pc));
+                        }
+                        self.meas.transfers += 1;
+                        self.meas.uncond_transfers += 1;
+                        self.regs[abi::BASE_LINK.0 as usize] = (pc + 8) as i32;
+                        pending = Some(pc.wrapping_add((disp as u32) << 2));
+                        self.pc = pc + 4;
+                        continue;
+                    }
+                    MInst::Jmpl { rd, rs1, off } => {
+                        if in_delay_slot {
+                            return Err(EmuError::BranchInDelaySlot(pc));
+                        }
+                        self.meas.transfers += 1;
+                        self.meas.uncond_transfers += 1;
+                        let target = (self.regs[rs1.0 as usize] as u32).wrapping_add(off as u32);
+                        self.set_reg(rd, (pc + 8) as i32);
+                        pending = Some(target);
+                        self.pc = pc + 4;
+                        continue;
+                    }
+                    _ => return Err(EmuError::WrongMachine(pc)),
+                }
+            }
+
+            // Advance: if we just executed a delay slot, complete the branch.
+            self.pc = match pending.take() {
+                Some(t) => t,
+                None => pc + 4,
+            };
+        }
+    }
+
+    // ---------------- branch-register machine ----------------
+
+    fn assign_breg(
+        &mut self,
+        bd: u8,
+        value: u32,
+        from_cond: bool,
+        assign_time: u64,
+        hook: &mut dyn ExecHook,
+    ) {
+        self.bregs[bd as usize] = value;
+        self.brstate[bd as usize] = BrState {
+            assign_time,
+            from_cond,
+        };
+        // Assigning a branch register directs the instruction cache to
+        // prefetch the target line (paper Section 8).
+        hook.prefetch(value);
+    }
+
+    fn run_brmachine(&mut self, fuel: u64, hook: &mut dyn ExecHook) -> Result<i32, EmuError> {
+        loop {
+            if self.meas.instructions >= fuel {
+                return Err(EmuError::OutOfFuel);
+            }
+            let pc = self.pc;
+            let inst = self.fetch(pc)?;
+            hook.fetch(pc);
+            self.meas.instructions += 1;
+            let now = self.meas.instructions;
+            let seq = pc + 4;
+
+            // The br field is read during decode: the next-instruction
+            // address comes from the branch register's *current* value.
+            // Exception: a compare-with-assignment carrying its own br
+            // field is the Section 9 "fast compare" — it tests the
+            // condition during decode and transfers through the value it
+            // just selected.
+            let br = inst.br();
+            let fused = br != 0 && matches!(inst, MInst::CmpBr { .. } | MInst::FCmpBr { .. });
+            let mut next = if br == 0 {
+                seq
+            } else {
+                self.bregs[br as usize]
+            };
+
+            if self.exec_shared(pc, inst)? {
+                // shared body done
+            } else {
+                match inst {
+                    MInst::Halt => return Ok(self.regs[1]),
+                    MInst::Bcalc { bd, disp, br: _ } => {
+                        self.meas.addr_calcs += 1;
+                        let target = pc.wrapping_add((disp as u32) << 2);
+                        self.assign_breg(bd.0, target, false, now, hook);
+                    }
+                    MInst::BMovR { bd, rs1, off, .. } => {
+                        self.meas.addr_calcs += 1;
+                        let target = (self.regs[rs1.0 as usize] as u32).wrapping_add(off as u32);
+                        self.assign_breg(bd.0, target, false, now, hook);
+                    }
+                    MInst::BMovB { bd, bs, .. } => {
+                        self.meas.addr_calcs += 1;
+                        // Reading b[0] yields the next sequential address.
+                        let v = if bs.0 == 0 { seq } else { self.bregs[bs.0 as usize] };
+                        let src_state = self.brstate[bs.0 as usize];
+                        self.assign_breg(bd.0, v, false, now, hook);
+                        // Moving an already-prefetched register preserves
+                        // its prefetch time.
+                        if bs.0 != 0 {
+                            self.brstate[bd.0 as usize].assign_time = src_state.assign_time;
+                        }
+                    }
+                    MInst::BLoad { bd, rs1, src2, .. } => {
+                        self.meas.addr_calcs += 1;
+                        self.meas.br_restores += 1;
+                        let addr =
+                            (self.regs[rs1.0 as usize] as u32).wrapping_add(self.src2(src2) as u32);
+                        let v = self.load(pc, addr, MemWidth::Word)? as u32;
+                        self.assign_breg(bd.0, v, false, now, hook);
+                    }
+                    MInst::BStore { bs, rs1, off, .. } => {
+                        self.meas.br_saves += 1;
+                        let addr = (self.regs[rs1.0 as usize] as u32).wrapping_add(off as u32);
+                        self.store(pc, addr, self.bregs[bs.0 as usize] as i32, MemWidth::Word)?;
+                    }
+                    MInst::CmpBr {
+                        cc, bt, rs1, src2, ..
+                    } => {
+                        let taken =
+                            cc.eval_int(self.regs[rs1.0 as usize], self.src2(src2));
+                        self.exec_cmpbr(taken, bt.0, pc, now, fused);
+                    }
+                    MInst::FCmpBr {
+                        cc, bt, fs1, fs2, ..
+                    } => {
+                        let taken = cc.eval_float(
+                            self.fregs[fs1.0 as usize],
+                            self.fregs[fs2.0 as usize],
+                        );
+                        self.exec_cmpbr(taken, bt.0, pc, now, fused);
+                    }
+                    _ => return Err(EmuError::WrongMachine(pc)),
+                }
+            }
+
+            // A fused compare transfers through the value it just wrote.
+            if fused {
+                next = self.bregs[br as usize];
+            }
+            // Transfer bookkeeping and the b[7] return-address side effect.
+            if br != 0 {
+                self.meas.transfers += 1;
+                let st = self.brstate[br as usize];
+                if st.from_cond {
+                    self.meas.cond_transfers += 1;
+                } else {
+                    self.meas.uncond_transfers += 1;
+                }
+                let dist = now.saturating_sub(st.assign_time);
+                self.meas.record_dist(dist, st.from_cond);
+                // "Every instruction that references a branch register that
+                // is not the PC stores the address of the next physical
+                // instruction into b[7]."
+                self.bregs[7] = seq;
+                self.brstate[7] = BrState {
+                    assign_time: now,
+                    from_cond: false,
+                };
+            }
+
+            self.pc = next;
+        }
+    }
+
+    fn exec_cmpbr(&mut self, taken: bool, bt: u8, pc: u32, now: u64, fused: bool) {
+        if taken {
+            self.meas.cond_taken += 1;
+            let target = self.bregs[bt as usize];
+            let src_time = self.brstate[bt as usize].assign_time;
+            self.bregs[7] = target;
+            self.brstate[7] = BrState {
+                // A taken conditional consumes the prefetch done when the
+                // *target* register was assigned.
+                assign_time: src_time,
+                from_cond: true,
+            };
+            let _ = now;
+        } else {
+            // Fall-through address: past the carrier that follows this
+            // compare (the compiler guarantees adjacency), or past the
+            // compare itself in the fused fast-compare form.
+            self.bregs[7] = if fused { pc + 4 } else { pc + 8 };
+            self.brstate[7] = BrState {
+                // Sequential instructions are always prefetched.
+                assign_time: 0,
+                from_cond: true,
+            };
+        }
+        let _ = pc;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use br_isa::{AsmFunc, AsmItem, AsmProgram, BReg, Cc, Label, Reg, Reloc, SymRef};
+
+    fn asm_main(machine: Machine, items: Vec<AsmItem>) -> Program {
+        let mut p = AsmProgram::new(machine);
+        p.funcs.push(AsmFunc {
+            name: "main".to_string(),
+            items,
+        });
+        p.assemble().unwrap()
+    }
+
+    fn alu(rd: u8, rs1: u8, imm: i32, br: u8) -> MInst {
+        MInst::Alu {
+            op: AluOp::Add,
+            rd: Reg(rd),
+            rs1: Reg(rs1),
+            src2: Src2::Imm(imm),
+            br,
+        }
+    }
+
+    #[test]
+    fn baseline_returns_value_via_r1() {
+        let prog = asm_main(
+            Machine::Baseline,
+            vec![
+                AsmItem::Inst(alu(1, 0, 7, 0), None),
+                AsmItem::Inst(
+                    MInst::Jmpl {
+                        rd: Reg(0),
+                        rs1: abi::BASE_LINK,
+                        off: 0,
+                    },
+                    None,
+                ),
+                AsmItem::Inst(MInst::Nop { br: 0 }, None),
+            ],
+        );
+        let mut emu = Emulator::new(&prog);
+        assert_eq!(emu.run(1000).unwrap(), 7);
+        // call, nop(delay), add, jmpl, nop(delay), halt = 6 instructions
+        assert_eq!(emu.measurements().instructions, 6);
+        assert_eq!(emu.measurements().transfers, 2); // call + jmpl
+        assert_eq!(emu.measurements().noops, 2);
+    }
+
+    #[test]
+    fn baseline_delay_slot_executes() {
+        // ba over an add, with the delay slot still setting r1.
+        let l = Label(0);
+        let prog = asm_main(
+            Machine::Baseline,
+            vec![
+                AsmItem::Inst(MInst::Ba { disp: 0 }, Some(Reloc::Disp(SymRef::Label(l)))),
+                AsmItem::Inst(alu(1, 0, 5, 0), None), // delay slot: executes
+                AsmItem::Inst(alu(1, 0, 99, 0), None), // skipped
+                AsmItem::Label(l),
+                AsmItem::Inst(
+                    MInst::Jmpl {
+                        rd: Reg(0),
+                        rs1: abi::BASE_LINK,
+                        off: 0,
+                    },
+                    None,
+                ),
+                AsmItem::Inst(MInst::Nop { br: 0 }, None),
+            ],
+        );
+        let mut emu = Emulator::new(&prog);
+        assert_eq!(emu.run(1000).unwrap(), 5);
+    }
+
+    #[test]
+    fn baseline_conditional_branch_taken_and_not() {
+        // r2 = 3; cmp r2, 3; beq L; (delay nop); r1 = 1; L: jmpl
+        let l = Label(0);
+        let prog = asm_main(
+            Machine::Baseline,
+            vec![
+                AsmItem::Inst(alu(2, 0, 3, 0), None),
+                AsmItem::Inst(
+                    MInst::Cmp {
+                        rs1: Reg(2),
+                        src2: Src2::Imm(3),
+                    },
+                    None,
+                ),
+                AsmItem::Inst(
+                    MInst::Bcc {
+                        cc: Cc::Eq,
+                        float: false,
+                        disp: 0,
+                    },
+                    Some(Reloc::Disp(SymRef::Label(l))),
+                ),
+                AsmItem::Inst(MInst::Nop { br: 0 }, None),
+                AsmItem::Inst(alu(1, 0, 99, 0), None), // skipped when taken
+                AsmItem::Label(l),
+                AsmItem::Inst(
+                    MInst::Jmpl {
+                        rd: Reg(0),
+                        rs1: abi::BASE_LINK,
+                        off: 0,
+                    },
+                    None,
+                ),
+                AsmItem::Inst(MInst::Nop { br: 0 }, None),
+            ],
+        );
+        let mut emu = Emulator::new(&prog);
+        assert_eq!(emu.run(1000).unwrap(), 0);
+        assert_eq!(emu.measurements().cond_transfers, 1);
+        assert_eq!(emu.measurements().cond_taken, 1);
+    }
+
+    #[test]
+    fn br_machine_returns_via_b7() {
+        // main body: r1 = 7 with br=7 (return through b[7] set by the stub).
+        let prog = asm_main(Machine::BranchReg, vec![AsmItem::Inst(alu(1, 0, 7, 7), None)]);
+        let mut emu = Emulator::new(&prog);
+        assert_eq!(emu.run(1000).unwrap(), 7);
+        // stub: sethi, bmovr, nop[br=1], then add[br=7], halt = 5
+        assert_eq!(emu.measurements().instructions, 5);
+        assert_eq!(emu.measurements().transfers, 2); // nop[br=1] + add[br=7]
+        assert_eq!(emu.measurements().addr_calcs, 1); // the bmovr
+        assert_eq!(emu.measurements().noops, 1);
+    }
+
+    #[test]
+    fn br_machine_unconditional_loop_via_bcalc() {
+        // r2 = 3; bcalc b2 = L; L: r1 += 1; r2 -= 1; cmpbr r2 != 0 -> b2;
+        // carrier nop br=7; return via b1 (stub's b7 was moved to b1).
+        let l = Label(0);
+        let items = vec![
+            // save return address: b1 is written by stub's bmovr... stub
+            // uses b1 for the call target, so b[7] holds the return.
+            // Move it to b3 for safekeeping.
+            AsmItem::Inst(
+                MInst::BMovB {
+                    bd: BReg(3),
+                    bs: BReg(7),
+                    br: 0,
+                },
+                None,
+            ),
+            AsmItem::Inst(alu(2, 0, 3, 0), None),
+            AsmItem::Inst(
+                MInst::Bcalc {
+                    bd: BReg(2),
+                    disp: 0,
+                    br: 0,
+                },
+                Some(Reloc::Disp(SymRef::Label(l))),
+            ),
+            AsmItem::Label(l),
+            AsmItem::Inst(alu(1, 1, 1, 0), None),
+            AsmItem::Inst(alu(2, 2, -1, 0), None),
+            AsmItem::Inst(
+                MInst::CmpBr {
+                    cc: Cc::Ne,
+                    bt: BReg(2),
+                    rs1: Reg(2),
+                    src2: Src2::Imm(0),
+                    br: 0,
+                },
+                None,
+            ),
+            AsmItem::Inst(MInst::Nop { br: 7 }, None),
+            AsmItem::Inst(MInst::Nop { br: 3 }, None), // return
+        ];
+        let prog = asm_main(Machine::BranchReg, items);
+        let mut emu = Emulator::new(&prog);
+        assert_eq!(emu.run(1000).unwrap(), 3);
+        let m = emu.measurements();
+        // 3 conditional transfers (2 taken + 1 fall-through).
+        assert_eq!(m.cond_transfers, 3);
+        assert_eq!(m.cond_taken, 2);
+        // Address calcs: stub bmovr + bmovb + bcalc (each executed once —
+        // the bcalc is "outside the loop").
+        assert_eq!(m.addr_calcs, 3);
+    }
+
+    #[test]
+    fn br_machine_b7_side_effect_is_return_address() {
+        // Demonstrate call/return: main calls f via b4; f returns via b7.
+        let mut p = AsmProgram::new(Machine::BranchReg);
+        p.funcs.push(AsmFunc {
+            name: "main".to_string(),
+            items: vec![
+                AsmItem::Inst(
+                    MInst::BMovB {
+                        bd: BReg(3),
+                        bs: BReg(7),
+                        br: 0,
+                    },
+                    None,
+                ),
+                AsmItem::Inst(
+                    MInst::Sethi {
+                        rd: abi::BR_TEMP,
+                        imm: 0,
+                    },
+                    Some(Reloc::Hi(SymRef::Func("f".into()))),
+                ),
+                AsmItem::Inst(
+                    MInst::BMovR {
+                        bd: BReg(4),
+                        rs1: abi::BR_TEMP,
+                        off: 0,
+                        br: 0,
+                    },
+                    Some(Reloc::Lo(SymRef::Func("f".into()))),
+                ),
+                AsmItem::Inst(MInst::Nop { br: 4 }, None), // call f
+                AsmItem::Inst(alu(1, 1, 10, 3), None),     // r1 += 10; return
+            ],
+        });
+        p.funcs.push(AsmFunc {
+            name: "f".to_string(),
+            items: vec![AsmItem::Inst(alu(1, 0, 5, 7), None)], // r1 = 5; ret
+        });
+        let prog = p.assemble().unwrap();
+        let mut emu = Emulator::new(&prog);
+        assert_eq!(emu.run(1000).unwrap(), 15);
+    }
+
+    #[test]
+    fn distance_histogram_records_bcalc_spacing() {
+        // bcalc then immediately jump: distance 1 (would stall).
+        let l = Label(0);
+        let prog = asm_main(
+            Machine::BranchReg,
+            vec![
+                // Save the return address before any internal transfer
+                // clobbers b[7] (the paper's save/restore rule).
+                AsmItem::Inst(
+                    MInst::BMovB {
+                        bd: BReg(3),
+                        bs: BReg(7),
+                        br: 0,
+                    },
+                    None,
+                ),
+                AsmItem::Inst(
+                    MInst::Bcalc {
+                        bd: BReg(2),
+                        disp: 0,
+                        br: 0,
+                    },
+                    Some(Reloc::Disp(SymRef::Label(l))),
+                ),
+                AsmItem::Inst(MInst::Nop { br: 2 }, None), // dist = 1
+                AsmItem::Label(l),
+                AsmItem::Inst(alu(1, 0, 1, 3), None), // return via saved b3
+            ],
+        );
+        let mut emu = Emulator::new(&prog);
+        assert_eq!(emu.run(1000).unwrap(), 1);
+        let m = emu.measurements();
+        // Two dist-1 transfers: the stub's call (bmovr immediately before
+        // its carrier) and our nop[br=2] right after the bcalc.
+        assert_eq!(m.transfer_dist[1], 2);
+        // required distance 2 → that transfer is "too close".
+        assert!(m.frac_transfers_within(2) > 0.0);
+    }
+
+    #[test]
+    fn fuel_exhaustion_detected() {
+        let l = Label(0);
+        let prog = asm_main(
+            Machine::BranchReg,
+            vec![
+                AsmItem::Inst(
+                    MInst::Bcalc {
+                        bd: BReg(2),
+                        disp: 0,
+                        br: 0,
+                    },
+                    Some(Reloc::Disp(SymRef::Label(l))),
+                ),
+                AsmItem::Label(l),
+                AsmItem::Inst(MInst::Nop { br: 2 }, None),
+            ],
+        );
+        let mut emu = Emulator::new(&prog);
+        assert_eq!(emu.run(100), Err(EmuError::OutOfFuel));
+    }
+
+    #[test]
+    fn loads_and_stores_count_as_data_refs() {
+        let prog = asm_main(
+            Machine::Baseline,
+            vec![
+                AsmItem::Inst(
+                    MInst::Store {
+                        w: MemWidth::Word,
+                        rs: Reg(0),
+                        rs1: abi::BASE_SP,
+                        off: -4,
+                        br: 0,
+                    },
+                    None,
+                ),
+                AsmItem::Inst(
+                    MInst::Load {
+                        w: MemWidth::Word,
+                        rd: Reg(1),
+                        rs1: abi::BASE_SP,
+                        off: -4,
+                        br: 0,
+                    },
+                    None,
+                ),
+                AsmItem::Inst(
+                    MInst::Jmpl {
+                        rd: Reg(0),
+                        rs1: abi::BASE_LINK,
+                        off: 0,
+                    },
+                    None,
+                ),
+                AsmItem::Inst(MInst::Nop { br: 0 }, None),
+            ],
+        );
+        let mut emu = Emulator::new(&prog);
+        assert_eq!(emu.run(1000).unwrap(), 0);
+        assert_eq!(emu.measurements().data_refs, 2);
+    }
+
+    #[test]
+    fn writes_to_r0_are_ignored() {
+        let prog = asm_main(
+            Machine::Baseline,
+            vec![
+                AsmItem::Inst(alu(0, 0, 42, 0), None),
+                AsmItem::Inst(alu(1, 0, 0, 0), None), // r1 = r0 + 0
+                AsmItem::Inst(
+                    MInst::Jmpl {
+                        rd: Reg(0),
+                        rs1: abi::BASE_LINK,
+                        off: 0,
+                    },
+                    None,
+                ),
+                AsmItem::Inst(MInst::Nop { br: 0 }, None),
+            ],
+        );
+        let mut emu = Emulator::new(&prog);
+        assert_eq!(emu.run(1000).unwrap(), 0);
+    }
+}

@@ -1,0 +1,67 @@
+//! Hooks that let other subsystems observe the instruction stream.
+
+/// Observer of instruction fetches and branch-register prefetches.
+///
+/// The instruction-cache simulator (`br-icache`) implements this to model
+/// Section 8's prefetch-on-assignment behaviour without the emulator
+/// having to know anything about caches.
+pub trait ExecHook {
+    /// Called for every instruction fetch, with the instruction address.
+    fn fetch(&mut self, addr: u32) {
+        let _ = addr;
+    }
+
+    /// Called when a branch-register assignment directs the cache to
+    /// prefetch `addr` (branch-register machine only).
+    fn prefetch(&mut self, addr: u32) {
+        let _ = addr;
+    }
+}
+
+/// A hook that ignores everything (plain functional emulation).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoHook;
+
+impl ExecHook for NoHook {}
+
+/// A hook that records the full fetch/prefetch trace (for tests and
+/// pipeline visualisation).
+#[derive(Debug, Clone, Default)]
+pub struct TraceHook {
+    /// Fetched instruction addresses, in order.
+    pub fetches: Vec<u32>,
+    /// Prefetch requests, in order.
+    pub prefetches: Vec<u32>,
+}
+
+impl ExecHook for TraceHook {
+    fn fetch(&mut self, addr: u32) {
+        self.fetches.push(addr);
+    }
+
+    fn prefetch(&mut self, addr: u32) {
+        self.prefetches.push(addr);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_hook_records() {
+        let mut h = TraceHook::default();
+        h.fetch(0x1000);
+        h.prefetch(0x2000);
+        h.fetch(0x1004);
+        assert_eq!(h.fetches, vec![0x1000, 0x1004]);
+        assert_eq!(h.prefetches, vec![0x2000]);
+    }
+
+    #[test]
+    fn no_hook_is_a_no_op() {
+        let mut h = NoHook;
+        h.fetch(1);
+        h.prefetch(2);
+    }
+}

@@ -1,0 +1,154 @@
+//! Dynamic measurements — the quantities the paper's *ease* environment
+//! collects and that Section 7 reports.
+
+/// Buckets for the "distance between branch-target-address calculation and
+/// the transfer of control that uses it" histogram (the Figure 9 rule:
+/// with a 3-stage pipeline, distance ≥ 2 avoids any delay on a cache hit).
+pub const MAX_DIST_BUCKET: usize = 8;
+
+/// Counters accumulated while emulating one program.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Measurements {
+    /// Total instructions executed (the paper's first Table I column).
+    pub instructions: u64,
+    /// Data memory references executed (loads + stores, including branch
+    /// register saves/restores — the second Table I column).
+    pub data_refs: u64,
+    /// Executed transfers of control: branch/call/jump instructions on
+    /// the baseline; instructions with a nonzero `br` field on the
+    /// branch-register machine.
+    pub transfers: u64,
+    /// Conditional transfers (subset of `transfers`).
+    pub cond_transfers: u64,
+    /// Unconditional transfers (subset of `transfers`).
+    pub uncond_transfers: u64,
+    /// Conditional transfers that were taken.
+    pub cond_taken: u64,
+    /// No-op instructions executed (delay-slot noops on the baseline;
+    /// transfer carriers with no useful work on the BR machine).
+    pub noops: u64,
+    /// Branch-target-address calculations executed (`bcalc`, `bmovr`,
+    /// `bmovb`, `bload`; zero on the baseline).
+    pub addr_calcs: u64,
+    /// Branch-register saves (`bstore`) executed.
+    pub br_saves: u64,
+    /// Branch-register restores (`bload`) executed.
+    pub br_restores: u64,
+    /// `transfer_dist[d]` counts transfers whose referenced branch
+    /// register was assigned `d` dynamic instructions earlier, for
+    /// `d = 1 ..= MAX_DIST_BUCKET`; index 0 collects everything larger
+    /// (fully prefetched). Untaken conditional transfers count as ready.
+    pub transfer_dist: [u64; MAX_DIST_BUCKET + 1],
+    /// Same histogram restricted to conditional transfers.
+    pub cond_transfer_dist: [u64; MAX_DIST_BUCKET + 1],
+}
+
+impl Measurements {
+    /// New, zeroed counters.
+    pub fn new() -> Measurements {
+        Measurements::default()
+    }
+
+    /// Record a transfer with prefetch distance `dist` (`u64::MAX` for
+    /// "always ready", e.g. untaken conditionals).
+    pub(crate) fn record_dist(&mut self, dist: u64, conditional: bool) {
+        let idx = if dist >= 1 && dist <= MAX_DIST_BUCKET as u64 {
+            dist as usize
+        } else {
+            0
+        };
+        self.transfer_dist[idx] += 1;
+        if conditional {
+            self.cond_transfer_dist[idx] += 1;
+        }
+    }
+
+    /// Fraction of transfers whose target-address calculation happened
+    /// fewer than `required` instructions before the transfer — these are
+    /// the transfers that still incur a pipeline delay on the
+    /// branch-register machine (the paper estimates 13.86% for
+    /// `required = 2`).
+    pub fn frac_transfers_within(&self, required: u64) -> f64 {
+        if self.transfers == 0 {
+            return 0.0;
+        }
+        let close: u64 = (1..=MAX_DIST_BUCKET.min(required.saturating_sub(1) as usize))
+            .map(|d| self.transfer_dist[d])
+            .sum();
+        close as f64 / self.transfers as f64
+    }
+
+    /// Accumulate another run's counters into this one (suite totals).
+    pub fn accumulate(&mut self, other: &Measurements) {
+        self.instructions += other.instructions;
+        self.data_refs += other.data_refs;
+        self.transfers += other.transfers;
+        self.cond_transfers += other.cond_transfers;
+        self.uncond_transfers += other.uncond_transfers;
+        self.cond_taken += other.cond_taken;
+        self.noops += other.noops;
+        self.addr_calcs += other.addr_calcs;
+        self.br_saves += other.br_saves;
+        self.br_restores += other.br_restores;
+        for i in 0..self.transfer_dist.len() {
+            self.transfer_dist[i] += other.transfer_dist[i];
+            self.cond_transfer_dist[i] += other.cond_transfer_dist[i];
+        }
+    }
+
+    /// Transfers of control as a fraction of instructions executed
+    /// (the paper reports ~14% for the baseline).
+    pub fn transfer_fraction(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.transfers as f64 / self.instructions as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dist_histogram_buckets() {
+        let mut m = Measurements::new();
+        m.transfers = 5;
+        m.record_dist(1, false);
+        m.record_dist(2, true);
+        m.record_dist(8, false);
+        m.record_dist(9, false);
+        m.record_dist(u64::MAX, true);
+        assert_eq!(m.transfer_dist[1], 1);
+        assert_eq!(m.transfer_dist[2], 1);
+        assert_eq!(m.transfer_dist[8], 1);
+        assert_eq!(m.transfer_dist[0], 2);
+        assert_eq!(m.cond_transfer_dist[2], 1);
+        // required=2 → only dist-1 transfers are "too close".
+        assert!((m.frac_transfers_within(2) - 0.2).abs() < 1e-9);
+        // required=3 → dist 1 and 2.
+        assert!((m.frac_transfers_within(3) - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn accumulate_sums_everything() {
+        let mut a = Measurements::new();
+        a.instructions = 10;
+        a.transfer_dist[1] = 2;
+        let mut b = Measurements::new();
+        b.instructions = 5;
+        b.data_refs = 3;
+        b.transfer_dist[1] = 1;
+        a.accumulate(&b);
+        assert_eq!(a.instructions, 15);
+        assert_eq!(a.data_refs, 3);
+        assert_eq!(a.transfer_dist[1], 3);
+    }
+
+    #[test]
+    fn transfer_fraction_handles_zero() {
+        let m = Measurements::new();
+        assert_eq!(m.transfer_fraction(), 0.0);
+    }
+}

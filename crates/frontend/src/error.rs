@@ -1,0 +1,41 @@
+//! Compilation errors with source-line information.
+
+use std::fmt;
+
+/// An error produced while lexing, parsing, or lowering MiniC.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// 1-based source line.
+    pub line: u32,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl CompileError {
+    /// Create an error at `line`.
+    pub fn new(line: u32, msg: impl Into<String>) -> CompileError {
+        CompileError {
+            line,
+            msg: msg.into(),
+        }
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line() {
+        let e = CompileError::new(7, "oops");
+        assert_eq!(e.to_string(), "line 7: oops");
+    }
+}

@@ -1,0 +1,421 @@
+//! Lexical analysis for MiniC.
+
+use std::fmt;
+
+use crate::error::CompileError;
+
+/// A MiniC token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    // literals / identifiers
+    Int(i64),
+    Float(f32),
+    Char(u8),
+    Str(Vec<u8>),
+    Ident(String),
+    // keywords
+    KwInt,
+    KwChar,
+    KwFloat,
+    KwVoid,
+    KwIf,
+    KwElse,
+    KwWhile,
+    KwFor,
+    KwDo,
+    KwReturn,
+    KwBreak,
+    KwContinue,
+    KwSwitch,
+    KwCase,
+    KwDefault,
+    // punctuation
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Colon,
+    Question,
+    // operators
+    Assign,
+    PlusAssign,
+    MinusAssign,
+    StarAssign,
+    SlashAssign,
+    PercentAssign,
+    AmpAssign,
+    PipeAssign,
+    CaretAssign,
+    ShlAssign,
+    ShrAssign,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    Tilde,
+    Bang,
+    Shl,
+    Shr,
+    AmpAmp,
+    PipePipe,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    PlusPlus,
+    MinusMinus,
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Int(v) => write!(f, "{v}"),
+            Tok::Float(v) => write!(f, "{v}"),
+            Tok::Char(c) => write!(f, "'{}'", *c as char),
+            Tok::Str(_) => write!(f, "string literal"),
+            Tok::Ident(s) => write!(f, "{s}"),
+            other => write!(f, "{other:?}"),
+        }
+    }
+}
+
+/// A token tagged with its source line (1-based).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    pub tok: Tok,
+    pub line: u32,
+}
+
+/// Tokenize MiniC source.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] for malformed literals, unterminated
+/// strings/comments, or unknown characters.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, CompileError> {
+    let b = src.as_bytes();
+    let mut i = 0;
+    let mut line = 1u32;
+    let mut out = Vec::new();
+    macro_rules! push {
+        ($t:expr) => {
+            out.push(Spanned { tok: $t, line })
+        };
+    }
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let start_line = line;
+                i += 2;
+                loop {
+                    if i + 1 >= b.len() {
+                        return Err(CompileError::new(start_line, "unterminated comment"));
+                    }
+                    if b[i] == b'\n' {
+                        line += 1;
+                    }
+                    if b[i] == b'*' && b[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                if c == b'0' && i + 1 < b.len() && (b[i + 1] | 0x20) == b'x' {
+                    i += 2;
+                    while i < b.len() && b[i].is_ascii_hexdigit() {
+                        i += 1;
+                    }
+                    let text = &src[start + 2..i];
+                    let v = i64::from_str_radix(text, 16)
+                        .map_err(|_| CompileError::new(line, "bad hex literal"))?;
+                    push!(Tok::Int(v));
+                } else {
+                    while i < b.len() && b[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    if i < b.len() && b[i] == b'.' && i + 1 < b.len() && b[i + 1].is_ascii_digit() {
+                        i += 1;
+                        while i < b.len() && b[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                        let v: f32 = src[start..i]
+                            .parse()
+                            .map_err(|_| CompileError::new(line, "bad float literal"))?;
+                        push!(Tok::Float(v));
+                    } else {
+                        let v: i64 = src[start..i]
+                            .parse()
+                            .map_err(|_| CompileError::new(line, "bad int literal"))?;
+                        push!(Tok::Int(v));
+                    }
+                }
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                let t = match word {
+                    "int" => Tok::KwInt,
+                    "char" => Tok::KwChar,
+                    "float" => Tok::KwFloat,
+                    "void" => Tok::KwVoid,
+                    "if" => Tok::KwIf,
+                    "else" => Tok::KwElse,
+                    "while" => Tok::KwWhile,
+                    "for" => Tok::KwFor,
+                    "do" => Tok::KwDo,
+                    "return" => Tok::KwReturn,
+                    "break" => Tok::KwBreak,
+                    "continue" => Tok::KwContinue,
+                    "switch" => Tok::KwSwitch,
+                    "case" => Tok::KwCase,
+                    "default" => Tok::KwDefault,
+                    _ => Tok::Ident(word.to_string()),
+                };
+                push!(t);
+            }
+            b'\'' => {
+                i += 1;
+                let (ch, len) = escape(b, i, line)?;
+                i += len;
+                if i >= b.len() || b[i] != b'\'' {
+                    return Err(CompileError::new(line, "unterminated char literal"));
+                }
+                i += 1;
+                push!(Tok::Char(ch));
+            }
+            b'"' => {
+                i += 1;
+                let mut s = Vec::new();
+                loop {
+                    if i >= b.len() || b[i] == b'\n' {
+                        return Err(CompileError::new(line, "unterminated string literal"));
+                    }
+                    if b[i] == b'"' {
+                        i += 1;
+                        break;
+                    }
+                    let (ch, len) = escape(b, i, line)?;
+                    s.push(ch);
+                    i += len;
+                }
+                push!(Tok::Str(s));
+            }
+            _ => {
+                // Multi-character operators, longest match first.
+                let rest = &b[i..];
+                let table: &[(&[u8], Tok)] = &[
+                    (b"<<=", Tok::ShlAssign),
+                    (b">>=", Tok::ShrAssign),
+                    (b"==", Tok::Eq),
+                    (b"!=", Tok::Ne),
+                    (b"<=", Tok::Le),
+                    (b">=", Tok::Ge),
+                    (b"&&", Tok::AmpAmp),
+                    (b"||", Tok::PipePipe),
+                    (b"<<", Tok::Shl),
+                    (b">>", Tok::Shr),
+                    (b"++", Tok::PlusPlus),
+                    (b"--", Tok::MinusMinus),
+                    (b"+=", Tok::PlusAssign),
+                    (b"-=", Tok::MinusAssign),
+                    (b"*=", Tok::StarAssign),
+                    (b"/=", Tok::SlashAssign),
+                    (b"%=", Tok::PercentAssign),
+                    (b"&=", Tok::AmpAssign),
+                    (b"|=", Tok::PipeAssign),
+                    (b"^=", Tok::CaretAssign),
+                    (b"+", Tok::Plus),
+                    (b"-", Tok::Minus),
+                    (b"*", Tok::Star),
+                    (b"/", Tok::Slash),
+                    (b"%", Tok::Percent),
+                    (b"&", Tok::Amp),
+                    (b"|", Tok::Pipe),
+                    (b"^", Tok::Caret),
+                    (b"~", Tok::Tilde),
+                    (b"!", Tok::Bang),
+                    (b"<", Tok::Lt),
+                    (b">", Tok::Gt),
+                    (b"=", Tok::Assign),
+                    (b"(", Tok::LParen),
+                    (b")", Tok::RParen),
+                    (b"{", Tok::LBrace),
+                    (b"}", Tok::RBrace),
+                    (b"[", Tok::LBracket),
+                    (b"]", Tok::RBracket),
+                    (b";", Tok::Semi),
+                    (b",", Tok::Comma),
+                    (b":", Tok::Colon),
+                    (b"?", Tok::Question),
+                ];
+                let mut matched = false;
+                for (pat, tok) in table {
+                    if rest.starts_with(pat) {
+                        push!(tok.clone());
+                        i += pat.len();
+                        matched = true;
+                        break;
+                    }
+                }
+                if !matched {
+                    return Err(CompileError::new(
+                        line,
+                        format!("unexpected character '{}'", c as char),
+                    ));
+                }
+            }
+        }
+    }
+    out.push(Spanned {
+        tok: Tok::Eof,
+        line,
+    });
+    Ok(out)
+}
+
+/// Decode one (possibly escaped) character at `b[i]`; returns the byte and
+/// the number of source bytes consumed.
+fn escape(b: &[u8], i: usize, line: u32) -> Result<(u8, usize), CompileError> {
+    if i >= b.len() {
+        return Err(CompileError::new(line, "unexpected end of input"));
+    }
+    if b[i] != b'\\' {
+        return Ok((b[i], 1));
+    }
+    if i + 1 >= b.len() {
+        return Err(CompileError::new(line, "bad escape"));
+    }
+    let c = match b[i + 1] {
+        b'n' => b'\n',
+        b't' => b'\t',
+        b'r' => b'\r',
+        b'0' => 0,
+        b'\\' => b'\\',
+        b'\'' => b'\'',
+        b'"' => b'"',
+        other => {
+            return Err(CompileError::new(
+                line,
+                format!("unknown escape '\\{}'", other as char),
+            ))
+        }
+    };
+    Ok((c, 2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            toks("int x while whilex"),
+            vec![
+                Tok::KwInt,
+                Tok::Ident("x".into()),
+                Tok::KwWhile,
+                Tok::Ident("whilex".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            toks("42 0x1F 3.5 0"),
+            vec![
+                Tok::Int(42),
+                Tok::Int(31),
+                Tok::Float(3.5),
+                Tok::Int(0),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn operators_longest_match() {
+        assert_eq!(
+            toks("a<<=b >>= == <= ++ +"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::ShlAssign,
+                Tok::Ident("b".into()),
+                Tok::ShrAssign,
+                Tok::Eq,
+                Tok::Le,
+                Tok::PlusPlus,
+                Tok::Plus,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_and_chars_with_escapes() {
+        assert_eq!(
+            toks(r#" "a\nb" '\t' 'x' "#),
+            vec![
+                Tok::Str(vec![b'a', b'\n', b'b']),
+                Tok::Char(b'\t'),
+                Tok::Char(b'x'),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped_and_lines_counted() {
+        let ts = lex("x // hi\ny /* multi\nline */ z").unwrap();
+        assert_eq!(ts.len(), 4);
+        assert_eq!(ts[0].line, 1);
+        assert_eq!(ts[1].line, 2);
+        assert_eq!(ts[2].line, 3);
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        assert!(lex("\"abc").is_err());
+        assert!(lex("/* abc").is_err());
+        assert!(lex("'a").is_err());
+    }
+
+    #[test]
+    fn unknown_char_is_error() {
+        assert!(lex("int $x;").is_err());
+    }
+}

@@ -1,0 +1,186 @@
+//! Control-flow graph over a function's basic blocks.
+
+use crate::inst::BlockId;
+use crate::module::Function;
+
+/// Successor/predecessor structure of a function, plus traversal orders.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    succs: Vec<Vec<BlockId>>,
+    preds: Vec<Vec<BlockId>>,
+    rpo: Vec<BlockId>,
+    rpo_index: Vec<Option<usize>>,
+}
+
+impl Cfg {
+    /// Build the CFG of `f`.
+    pub fn new(f: &Function) -> Cfg {
+        let n = f.blocks.len();
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+        for (id, b) in f.iter_blocks() {
+            for s in b.term().successors() {
+                succs[id.0 as usize].push(s);
+                preds[s.0 as usize].push(id);
+            }
+        }
+        // Depth-first postorder from the entry.
+        let mut state = vec![0u8; n]; // 0 = unvisited, 1 = on stack, 2 = done
+        let mut post = Vec::with_capacity(n);
+        let mut stack: Vec<(BlockId, usize)> = vec![(BlockId(0), 0)];
+        state[0] = 1;
+        while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+            let ss = &succs[b.0 as usize];
+            if *next < ss.len() {
+                let s = ss[*next];
+                *next += 1;
+                if state[s.0 as usize] == 0 {
+                    state[s.0 as usize] = 1;
+                    stack.push((s, 0));
+                }
+            } else {
+                state[b.0 as usize] = 2;
+                post.push(b);
+                stack.pop();
+            }
+        }
+        let rpo: Vec<BlockId> = post.into_iter().rev().collect();
+        let mut rpo_index = vec![None; n];
+        for (i, b) in rpo.iter().enumerate() {
+            rpo_index[b.0 as usize] = Some(i);
+        }
+        Cfg {
+            succs,
+            preds,
+            rpo,
+            rpo_index,
+        }
+    }
+
+    /// Successors of `b`.
+    pub fn succs(&self, b: BlockId) -> &[BlockId] {
+        &self.succs[b.0 as usize]
+    }
+
+    /// Predecessors of `b`.
+    pub fn preds(&self, b: BlockId) -> &[BlockId] {
+        &self.preds[b.0 as usize]
+    }
+
+    /// Blocks in reverse postorder (entry first). Unreachable blocks are
+    /// omitted.
+    pub fn rpo(&self) -> &[BlockId] {
+        &self.rpo
+    }
+
+    /// Position of `b` in the reverse postorder, or `None` if unreachable.
+    pub fn rpo_index(&self, b: BlockId) -> Option<usize> {
+        self.rpo_index[b.0 as usize]
+    }
+
+    /// Whether `b` is reachable from the entry.
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.rpo_index(b).is_some()
+    }
+
+    /// Number of blocks (including unreachable ones).
+    pub fn len(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// Whether the CFG has no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.succs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{Cond, Inst, Operand};
+    use crate::module::{Block, Function};
+    use crate::types::Ty;
+
+    /// entry → (then | else) → join → ret, plus one unreachable block.
+    fn diamond() -> Function {
+        let br = Inst::Branch {
+            cond: Cond::Eq,
+            a: Operand::Const(0),
+            b: Operand::Const(0),
+            float: false,
+            then_bb: BlockId(1),
+            else_bb: BlockId(2),
+        };
+        Function {
+            name: "d".into(),
+            ret_ty: Ty::Void,
+            params: vec![],
+            blocks: vec![
+                Block { insts: vec![br] },
+                Block {
+                    insts: vec![Inst::Jump(BlockId(3))],
+                },
+                Block {
+                    insts: vec![Inst::Jump(BlockId(3))],
+                },
+                Block {
+                    insts: vec![Inst::Ret(None)],
+                },
+                Block {
+                    insts: vec![Inst::Ret(None)], // unreachable
+                },
+            ],
+            vregs: vec![],
+            slots: vec![],
+        }
+    }
+
+    #[test]
+    fn succs_and_preds_agree() {
+        let f = diamond();
+        let cfg = Cfg::new(&f);
+        assert_eq!(cfg.succs(BlockId(0)), &[BlockId(1), BlockId(2)]);
+        assert_eq!(cfg.preds(BlockId(3)), &[BlockId(1), BlockId(2)]);
+        assert!(cfg.preds(BlockId(0)).is_empty());
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_skips_unreachable() {
+        let f = diamond();
+        let cfg = Cfg::new(&f);
+        assert_eq!(cfg.rpo()[0], BlockId(0));
+        assert_eq!(cfg.rpo().len(), 4);
+        assert!(!cfg.is_reachable(BlockId(4)));
+        assert!(cfg.is_reachable(BlockId(3)));
+    }
+
+    #[test]
+    fn rpo_respects_topological_order_on_dags() {
+        let f = diamond();
+        let cfg = Cfg::new(&f);
+        let i0 = cfg.rpo_index(BlockId(0)).unwrap();
+        let i3 = cfg.rpo_index(BlockId(3)).unwrap();
+        assert!(i0 < i3);
+        for b in [1u32, 2] {
+            let i = cfg.rpo_index(BlockId(b)).unwrap();
+            assert!(i0 < i && i < i3);
+        }
+    }
+
+    #[test]
+    fn self_loop_is_handled() {
+        let f = Function {
+            name: "l".into(),
+            ret_ty: Ty::Void,
+            params: vec![],
+            blocks: vec![Block {
+                insts: vec![Inst::Jump(BlockId(0))],
+            }],
+            vregs: vec![],
+            slots: vec![],
+        };
+        let cfg = Cfg::new(&f);
+        assert_eq!(cfg.succs(BlockId(0)), &[BlockId(0)]);
+        assert_eq!(cfg.rpo(), &[BlockId(0)]);
+    }
+}

@@ -1,0 +1,200 @@
+//! Dominator computation (Cooper–Harvey–Kennedy iterative algorithm).
+
+use crate::cfg::Cfg;
+use crate::inst::BlockId;
+
+/// Immediate-dominator tree of a CFG.
+#[derive(Debug, Clone)]
+pub struct Dominators {
+    idom: Vec<Option<BlockId>>,
+}
+
+impl Dominators {
+    /// Compute dominators over the reachable part of `cfg`.
+    pub fn new(cfg: &Cfg) -> Dominators {
+        let n = cfg.len();
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        if n == 0 {
+            return Dominators { idom };
+        }
+        let entry = BlockId(0);
+        idom[0] = Some(entry);
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in cfg.rpo().iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in cfg.preds(b) {
+                    if idom[p.0 as usize].is_none() {
+                        continue; // predecessor not yet processed / unreachable
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => Self::intersect(&idom, cfg, p, cur),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[b.0 as usize] != Some(ni) {
+                        idom[b.0 as usize] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        Dominators { idom }
+    }
+
+    fn intersect(idom: &[Option<BlockId>], cfg: &Cfg, mut a: BlockId, mut b: BlockId) -> BlockId {
+        let rank = |x: BlockId| cfg.rpo_index(x).expect("reachable");
+        while a != b {
+            while rank(a) > rank(b) {
+                a = idom[a.0 as usize].expect("processed");
+            }
+            while rank(b) > rank(a) {
+                b = idom[b.0 as usize].expect("processed");
+            }
+        }
+        a
+    }
+
+    /// Immediate dominator of `b` (the entry's idom is itself).
+    /// `None` for unreachable blocks.
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        self.idom[b.0 as usize]
+    }
+
+    /// Whether `a` dominates `b` (reflexive).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom(cur) {
+                Some(d) if d != cur => cur = d,
+                _ => return false,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{Cond, Inst, Operand};
+    use crate::module::{Block, Function};
+    use crate::types::Ty;
+
+    fn func(blocks: Vec<Block>) -> Function {
+        Function {
+            name: "t".into(),
+            ret_ty: Ty::Void,
+            params: vec![],
+            blocks,
+            vregs: vec![],
+            slots: vec![],
+        }
+    }
+
+    fn branch(t: u32, e: u32) -> Inst {
+        Inst::Branch {
+            cond: Cond::Eq,
+            a: Operand::Const(0),
+            b: Operand::Const(0),
+            float: false,
+            then_bb: BlockId(t),
+            else_bb: BlockId(e),
+        }
+    }
+
+    #[test]
+    fn diamond_join_dominated_by_entry_only() {
+        // 0 → {1,2} → 3
+        let f = func(vec![
+            Block {
+                insts: vec![branch(1, 2)],
+            },
+            Block {
+                insts: vec![Inst::Jump(BlockId(3))],
+            },
+            Block {
+                insts: vec![Inst::Jump(BlockId(3))],
+            },
+            Block {
+                insts: vec![Inst::Ret(None)],
+            },
+        ]);
+        let cfg = Cfg::new(&f);
+        let dom = Dominators::new(&cfg);
+        assert_eq!(dom.idom(BlockId(3)), Some(BlockId(0)));
+        assert!(dom.dominates(BlockId(0), BlockId(3)));
+        assert!(!dom.dominates(BlockId(1), BlockId(3)));
+        assert!(dom.dominates(BlockId(3), BlockId(3)));
+    }
+
+    #[test]
+    fn loop_header_dominates_body() {
+        // 0 → 1 (header) → 2 (body) → 1; 1 → 3 exit
+        let f = func(vec![
+            Block {
+                insts: vec![Inst::Jump(BlockId(1))],
+            },
+            Block {
+                insts: vec![branch(2, 3)],
+            },
+            Block {
+                insts: vec![Inst::Jump(BlockId(1))],
+            },
+            Block {
+                insts: vec![Inst::Ret(None)],
+            },
+        ]);
+        let cfg = Cfg::new(&f);
+        let dom = Dominators::new(&cfg);
+        assert!(dom.dominates(BlockId(1), BlockId(2)));
+        assert!(dom.dominates(BlockId(1), BlockId(3)));
+        assert_eq!(dom.idom(BlockId(2)), Some(BlockId(1)));
+    }
+
+    #[test]
+    fn unreachable_blocks_have_no_idom() {
+        let f = func(vec![
+            Block {
+                insts: vec![Inst::Ret(None)],
+            },
+            Block {
+                insts: vec![Inst::Ret(None)],
+            },
+        ]);
+        let cfg = Cfg::new(&f);
+        let dom = Dominators::new(&cfg);
+        assert_eq!(dom.idom(BlockId(1)), None);
+        assert!(!dom.dominates(BlockId(0), BlockId(1)));
+    }
+
+    #[test]
+    fn nested_if_chain() {
+        // 0 → {1,4}; 1 → {2,3}; 2 → 3; 3 → 4
+        let f = func(vec![
+            Block {
+                insts: vec![branch(1, 4)],
+            },
+            Block {
+                insts: vec![branch(2, 3)],
+            },
+            Block {
+                insts: vec![Inst::Jump(BlockId(3))],
+            },
+            Block {
+                insts: vec![Inst::Jump(BlockId(4))],
+            },
+            Block {
+                insts: vec![Inst::Ret(None)],
+            },
+        ]);
+        let cfg = Cfg::new(&f);
+        let dom = Dominators::new(&cfg);
+        assert_eq!(dom.idom(BlockId(3)), Some(BlockId(1)));
+        assert_eq!(dom.idom(BlockId(4)), Some(BlockId(0)));
+    }
+}

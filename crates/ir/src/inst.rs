@@ -1,0 +1,555 @@
+//! IR instructions: a three-address, virtual-register code in the spirit of
+//! the paper's register transfer lists (RTLs).
+
+use std::fmt;
+
+use crate::module::{SlotId, SymId};
+
+/// Identifier of a basic block within a function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u32);
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// The register file a virtual register will eventually be assigned from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegClass {
+    /// General-purpose (integer / pointer) registers.
+    Int,
+    /// Floating-point registers.
+    Float,
+}
+
+/// A virtual register. The code generator maps these onto the machine's
+/// 32 (baseline) or 16 (branch-register machine) data registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VReg(pub u32);
+
+impl fmt::Display for VReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// An operand of a three-address instruction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Operand {
+    /// A virtual register.
+    Reg(VReg),
+    /// A signed integer constant.
+    Const(i64),
+    /// A 32-bit float constant.
+    FConst(f32),
+}
+
+impl Operand {
+    /// The virtual register, if this operand is one.
+    pub fn reg(&self) -> Option<VReg> {
+        match self {
+            Operand::Reg(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Whether the operand is any kind of constant.
+    pub fn is_const(&self) -> bool {
+        !matches!(self, Operand::Reg(_))
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(v) => write!(f, "{v}"),
+            Operand::Const(c) => write!(f, "{c}"),
+            Operand::FConst(c) => write!(f, "{c:?}f"),
+        }
+    }
+}
+
+/// Binary operators. Integer operators are 32-bit two's complement;
+/// `F*` variants are single-precision floating point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Sar,
+    FAdd,
+    FSub,
+    FMul,
+    FDiv,
+}
+
+impl BinOp {
+    /// Whether this operator works on floating-point values.
+    pub fn is_float(self) -> bool {
+        matches!(self, BinOp::FAdd | BinOp::FSub | BinOp::FMul | BinOp::FDiv)
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+            BinOp::And => "&",
+            BinOp::Or => "|",
+            BinOp::Xor => "^",
+            BinOp::Shl => "<<",
+            BinOp::Shr => ">>u",
+            BinOp::Sar => ">>",
+            BinOp::FAdd => "+f",
+            BinOp::FSub => "-f",
+            BinOp::FMul => "*f",
+            BinOp::FDiv => "/f",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Integer negation.
+    Neg,
+    /// Bitwise complement.
+    Not,
+    /// Float negation.
+    FNeg,
+}
+
+impl fmt::Display for UnOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            UnOp::Neg => "-",
+            UnOp::Not => "~",
+            UnOp::FNeg => "-f",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Comparison condition used by conditional branches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cond {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl Cond {
+    /// The condition that is true exactly when `self` is false.
+    pub fn negate(self) -> Cond {
+        match self {
+            Cond::Eq => Cond::Ne,
+            Cond::Ne => Cond::Eq,
+            Cond::Lt => Cond::Ge,
+            Cond::Le => Cond::Gt,
+            Cond::Gt => Cond::Le,
+            Cond::Ge => Cond::Lt,
+        }
+    }
+
+    /// The condition with its operands swapped (`a < b` ⇔ `b > a`).
+    pub fn swap(self) -> Cond {
+        match self {
+            Cond::Eq => Cond::Eq,
+            Cond::Ne => Cond::Ne,
+            Cond::Lt => Cond::Gt,
+            Cond::Le => Cond::Ge,
+            Cond::Gt => Cond::Lt,
+            Cond::Ge => Cond::Le,
+        }
+    }
+
+    /// Evaluate the condition over two signed integers.
+    pub fn eval_int(self, a: i64, b: i64) -> bool {
+        match self {
+            Cond::Eq => a == b,
+            Cond::Ne => a != b,
+            Cond::Lt => a < b,
+            Cond::Le => a <= b,
+            Cond::Gt => a > b,
+            Cond::Ge => a >= b,
+        }
+    }
+
+    /// Evaluate the condition over two floats.
+    pub fn eval_float(self, a: f32, b: f32) -> bool {
+        match self {
+            Cond::Eq => a == b,
+            Cond::Ne => a != b,
+            Cond::Lt => a < b,
+            Cond::Le => a <= b,
+            Cond::Gt => a > b,
+            Cond::Ge => a >= b,
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Cond::Eq => "==",
+            Cond::Ne => "!=",
+            Cond::Lt => "<",
+            Cond::Le => "<=",
+            Cond::Gt => ">",
+            Cond::Ge => ">=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Access width of a load or store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Width {
+    /// 8-bit unsigned byte (MiniC `char`).
+    Byte,
+    /// 32-bit word (int / pointer).
+    Word,
+    /// 32-bit float, transferred to/from the FP register file.
+    Float,
+}
+
+impl Width {
+    /// Number of bytes transferred.
+    pub fn bytes(self) -> usize {
+        match self {
+            Width::Byte => 1,
+            Width::Word | Width::Float => 4,
+        }
+    }
+}
+
+/// Value conversions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CastKind {
+    /// Signed int → float.
+    IntToFloat,
+    /// Float → signed int (truncating).
+    FloatToInt,
+}
+
+/// A three-address IR instruction.
+///
+/// The final instruction of every [`crate::Block`] must be a *terminator*
+/// ([`Inst::Jump`], [`Inst::Branch`], [`Inst::Switch`] or [`Inst::Ret`]);
+/// terminators never appear elsewhere.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Inst {
+    /// `dst = a op b`.
+    Bin {
+        op: BinOp,
+        dst: VReg,
+        a: Operand,
+        b: Operand,
+    },
+    /// `dst = op a`.
+    Un { op: UnOp, dst: VReg, a: Operand },
+    /// `dst = a`.
+    Copy { dst: VReg, a: Operand },
+    /// `dst = convert(a)`.
+    Cast {
+        kind: CastKind,
+        dst: VReg,
+        a: Operand,
+    },
+    /// `dst = M[base + off]`.
+    Load {
+        dst: VReg,
+        base: Operand,
+        off: i32,
+        width: Width,
+    },
+    /// `M[base + off] = a`.
+    Store {
+        a: Operand,
+        base: Operand,
+        off: i32,
+        width: Width,
+    },
+    /// `dst = &global + off`.
+    AddrOf { dst: VReg, sym: SymId, off: i32 },
+    /// `dst = &stack_slot + off`.
+    FrameAddr { dst: VReg, slot: SlotId, off: i32 },
+    /// `dst = func(args...)`.
+    Call {
+        dst: Option<VReg>,
+        func: SymId,
+        args: Vec<Operand>,
+    },
+    /// Unconditional jump (terminator).
+    Jump(BlockId),
+    /// Two-way conditional branch (terminator). Falls through to
+    /// `else_bb` when the condition is false.
+    Branch {
+        cond: Cond,
+        a: Operand,
+        b: Operand,
+        float: bool,
+        then_bb: BlockId,
+        else_bb: BlockId,
+    },
+    /// Dense jump-table switch on `idx - base` (terminator). Out-of-range
+    /// values go to `default`. Lowered to the paper's "indirect jump"
+    /// pattern on both machines.
+    Switch {
+        idx: Operand,
+        base: i64,
+        targets: Vec<BlockId>,
+        default: BlockId,
+    },
+    /// Function return (terminator).
+    Ret(Option<Operand>),
+}
+
+impl Inst {
+    /// Whether this instruction ends a basic block.
+    pub fn is_terminator(&self) -> bool {
+        matches!(
+            self,
+            Inst::Jump(_) | Inst::Branch { .. } | Inst::Switch { .. } | Inst::Ret(_)
+        )
+    }
+
+    /// The virtual register this instruction defines, if any.
+    pub fn def(&self) -> Option<VReg> {
+        match self {
+            Inst::Bin { dst, .. }
+            | Inst::Un { dst, .. }
+            | Inst::Copy { dst, .. }
+            | Inst::Cast { dst, .. }
+            | Inst::Load { dst, .. }
+            | Inst::AddrOf { dst, .. }
+            | Inst::FrameAddr { dst, .. } => Some(*dst),
+            Inst::Call { dst, .. } => *dst,
+            _ => None,
+        }
+    }
+
+    /// Collect the virtual registers this instruction uses.
+    pub fn uses(&self, out: &mut Vec<VReg>) {
+        let mut op = |o: &Operand| {
+            if let Operand::Reg(v) = o {
+                out.push(*v);
+            }
+        };
+        match self {
+            Inst::Bin { a, b, .. } => {
+                op(a);
+                op(b);
+            }
+            Inst::Un { a, .. } | Inst::Copy { a, .. } | Inst::Cast { a, .. } => op(a),
+            Inst::Load { base, .. } => op(base),
+            Inst::Store { a, base, .. } => {
+                op(a);
+                op(base);
+            }
+            Inst::AddrOf { .. } | Inst::FrameAddr { .. } | Inst::Jump(_) => {}
+            Inst::Call { args, .. } => args.iter().for_each(op),
+            Inst::Branch { a, b, .. } => {
+                op(a);
+                op(b);
+            }
+            Inst::Switch { idx, .. } => op(idx),
+            Inst::Ret(Some(a)) => op(a),
+            Inst::Ret(None) => {}
+        }
+    }
+
+    /// Successor blocks of a terminator (empty for non-terminators and
+    /// returns).
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            Inst::Jump(t) => vec![*t],
+            Inst::Branch {
+                then_bb, else_bb, ..
+            } => vec![*then_bb, *else_bb],
+            Inst::Switch {
+                targets, default, ..
+            } => {
+                let mut v = targets.clone();
+                v.push(*default);
+                v.sort_unstable();
+                v.dedup();
+                v
+            }
+            _ => Vec::new(),
+        }
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Inst::Bin { op, dst, a, b } => write!(f, "{dst} = {a} {op} {b}"),
+            Inst::Un { op, dst, a } => write!(f, "{dst} = {op}{a}"),
+            Inst::Copy { dst, a } => write!(f, "{dst} = {a}"),
+            Inst::Cast { kind, dst, a } => write!(f, "{dst} = {kind:?}({a})"),
+            Inst::Load {
+                dst,
+                base,
+                off,
+                width,
+            } => write!(f, "{dst} = {width:?}[{base}+{off}]"),
+            Inst::Store {
+                a,
+                base,
+                off,
+                width,
+            } => write!(f, "{width:?}[{base}+{off}] = {a}"),
+            Inst::AddrOf { dst, sym, off } => write!(f, "{dst} = &sym{}+{off}", sym.0),
+            Inst::FrameAddr { dst, slot, off } => write!(f, "{dst} = &slot{}+{off}", slot.0),
+            Inst::Call { dst, func, args } => {
+                if let Some(d) = dst {
+                    write!(f, "{d} = ")?;
+                }
+                write!(f, "call sym{}(", func.0)?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Inst::Jump(t) => write!(f, "jump {t}"),
+            Inst::Branch {
+                cond,
+                a,
+                b,
+                float,
+                then_bb,
+                else_bb,
+            } => {
+                let fl = if *float { "f" } else { "" };
+                write!(f, "if{fl} {a} {cond} {b} goto {then_bb} else {else_bb}")
+            }
+            Inst::Switch {
+                idx,
+                base,
+                targets,
+                default,
+            } => {
+                write!(f, "switch ({idx}-{base}) [")?;
+                for (i, t) in targets.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                write!(f, "] default {default}")
+            }
+            Inst::Ret(Some(a)) => write!(f, "ret {a}"),
+            Inst::Ret(None) => write!(f, "ret"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cond_negate_is_involutive() {
+        for c in [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Le, Cond::Gt, Cond::Ge] {
+            assert_eq!(c.negate().negate(), c);
+        }
+    }
+
+    #[test]
+    fn cond_swap_matches_semantics() {
+        for c in [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Le, Cond::Gt, Cond::Ge] {
+            for (a, b) in [(1, 2), (2, 1), (3, 3), (-5, 4)] {
+                assert_eq!(c.eval_int(a, b), c.swap().eval_int(b, a), "{c} {a} {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn negated_cond_is_complement() {
+        for c in [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Le, Cond::Gt, Cond::Ge] {
+            for (a, b) in [(0, 0), (1, 0), (0, 1), (-3, -3), (7, -7)] {
+                assert_ne!(c.eval_int(a, b), c.negate().eval_int(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn def_and_uses_are_consistent() {
+        let v0 = VReg(0);
+        let v1 = VReg(1);
+        let i = Inst::Bin {
+            op: BinOp::Add,
+            dst: v0,
+            a: Operand::Reg(v1),
+            b: Operand::Const(4),
+        };
+        assert_eq!(i.def(), Some(v0));
+        let mut u = Vec::new();
+        i.uses(&mut u);
+        assert_eq!(u, vec![v1]);
+    }
+
+    #[test]
+    fn store_defines_nothing() {
+        let i = Inst::Store {
+            a: Operand::Reg(VReg(2)),
+            base: Operand::Reg(VReg(3)),
+            off: 8,
+            width: Width::Word,
+        };
+        assert_eq!(i.def(), None);
+        let mut u = Vec::new();
+        i.uses(&mut u);
+        assert_eq!(u.len(), 2);
+    }
+
+    #[test]
+    fn switch_successors_dedup() {
+        let t = Inst::Switch {
+            idx: Operand::Reg(VReg(0)),
+            base: 0,
+            targets: vec![BlockId(1), BlockId(2), BlockId(1)],
+            default: BlockId(2),
+        };
+        assert_eq!(t.successors(), vec![BlockId(1), BlockId(2)]);
+    }
+
+    #[test]
+    fn terminators_are_recognized() {
+        assert!(Inst::Ret(None).is_terminator());
+        assert!(Inst::Jump(BlockId(0)).is_terminator());
+        assert!(!Inst::Copy {
+            dst: VReg(0),
+            a: Operand::Const(1)
+        }
+        .is_terminator());
+    }
+
+    #[test]
+    fn width_bytes() {
+        assert_eq!(Width::Byte.bytes(), 1);
+        assert_eq!(Width::Word.bytes(), 4);
+        assert_eq!(Width::Float.bytes(), 4);
+    }
+}

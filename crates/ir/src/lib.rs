@@ -1,0 +1,53 @@
+//! `br-ir` — the target-independent intermediate representation used by the
+//! branch-registers reproduction.
+//!
+//! This crate plays the role of the compiler infrastructure that Davidson &
+//! Whalley's *vpo* back end provided in the original study: a three-address,
+//! virtual-register IR together with the analyses their optimizer needs
+//! (control-flow graphs, dominators, natural loops, liveness, and static
+//! frequency estimates).
+//!
+//! The IR is deliberately *not* SSA: like the RTLs of the paper, a virtual
+//! register may be assigned many times. Analyses that would normally want
+//! SSA (liveness, loop detection) are implemented as classic iterative
+//! data-flow problems, which is faithful to 1990-era compiler technology
+//! and entirely sufficient for the measurements the paper makes.
+//!
+//! # Example
+//!
+//! ```
+//! use br_ir::{Module, FuncBuilder, Ty, Operand};
+//!
+//! let mut m = Module::new();
+//! let mut b = FuncBuilder::new("answer", Ty::Int, vec![]);
+//! let v = b.new_vreg(br_ir::RegClass::Int);
+//! b.push(br_ir::Inst::Copy { dst: v, a: Operand::Const(42) });
+//! b.terminate(br_ir::Inst::Ret(Some(Operand::Reg(v))));
+//! let f = b.finish();
+//! m.add_function(f);
+//! assert!(m.function("answer").is_some());
+//! ```
+
+pub mod builder;
+pub mod cfg;
+pub mod dom;
+pub mod freq;
+pub mod inst;
+pub mod interp;
+pub mod liveness;
+pub mod loops;
+pub mod module;
+pub mod opt;
+pub mod types;
+
+pub use builder::FuncBuilder;
+pub use cfg::Cfg;
+pub use dom::Dominators;
+pub use freq::FreqEstimate;
+pub use inst::{BinOp, BlockId, CastKind, Cond, Inst, Operand, RegClass, UnOp, VReg, Width};
+pub use interp::{InterpError, Interpreter};
+pub use liveness::Liveness;
+pub use loops::{Loop, LoopForest};
+pub use module::{Block, Function, Global, GlobalInit, Module, SlotId, SlotInfo, SymId, Symbol};
+pub use opt::{optimize, optimize_module};
+pub use types::Ty;

@@ -1,0 +1,148 @@
+//! The MiniC type system as seen by the IR.
+//!
+//! Sizes follow the two emulated machines of the paper: 32-bit words,
+//! 8-bit characters, 32-bit single-precision floats, 32-bit pointers.
+
+use std::fmt;
+
+/// A MiniC / IR type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Ty {
+    /// The absence of a value (function returns only).
+    Void,
+    /// 32-bit signed integer.
+    Int,
+    /// 8-bit unsigned character.
+    Char,
+    /// 32-bit IEEE-754 float.
+    Float,
+    /// Pointer to another type (32-bit).
+    Ptr(Box<Ty>),
+    /// Fixed-size array of an element type.
+    Array(Box<Ty>, usize),
+}
+
+impl Ty {
+    /// Size of a value of this type in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on [`Ty::Void`], which has no size.
+    pub fn size(&self) -> usize {
+        match self {
+            Ty::Void => panic!("void has no size"),
+            Ty::Int | Ty::Float | Ty::Ptr(_) => 4,
+            Ty::Char => 1,
+            Ty::Array(elem, n) => elem.size() * n,
+        }
+    }
+
+    /// Alignment of this type in bytes.
+    pub fn align(&self) -> usize {
+        match self {
+            Ty::Void => 1,
+            Ty::Int | Ty::Float | Ty::Ptr(_) => 4,
+            Ty::Char => 1,
+            Ty::Array(elem, _) => elem.align(),
+        }
+    }
+
+    /// Whether this is an arithmetic (int/char/float) type.
+    pub fn is_arith(&self) -> bool {
+        matches!(self, Ty::Int | Ty::Char | Ty::Float)
+    }
+
+    /// Whether values of this type live in floating-point registers.
+    pub fn is_float(&self) -> bool {
+        matches!(self, Ty::Float)
+    }
+
+    /// Whether this is a pointer type.
+    pub fn is_ptr(&self) -> bool {
+        matches!(self, Ty::Ptr(_))
+    }
+
+    /// The element type a pointer or array refers to, if any.
+    pub fn pointee(&self) -> Option<&Ty> {
+        match self {
+            Ty::Ptr(t) => Some(t),
+            Ty::Array(t, _) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// The type a value of this type *decays* to when used in an
+    /// expression: arrays decay to pointers, everything else is unchanged.
+    pub fn decay(&self) -> Ty {
+        match self {
+            Ty::Array(elem, _) => Ty::Ptr(elem.clone()),
+            other => other.clone(),
+        }
+    }
+
+    /// Construct a pointer to `self`.
+    pub fn ptr_to(&self) -> Ty {
+        Ty::Ptr(Box::new(self.clone()))
+    }
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ty::Void => write!(f, "void"),
+            Ty::Int => write!(f, "int"),
+            Ty::Char => write!(f, "char"),
+            Ty::Float => write!(f, "float"),
+            Ty::Ptr(t) => write!(f, "{t}*"),
+            Ty::Array(t, n) => write!(f, "{t}[{n}]"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_sizes_match_the_paper_machines() {
+        assert_eq!(Ty::Int.size(), 4);
+        assert_eq!(Ty::Char.size(), 1);
+        assert_eq!(Ty::Float.size(), 4);
+        assert_eq!(Ty::Int.ptr_to().size(), 4);
+    }
+
+    #[test]
+    fn array_size_is_element_count_times_element_size() {
+        let a = Ty::Array(Box::new(Ty::Int), 10);
+        assert_eq!(a.size(), 40);
+        let m = Ty::Array(Box::new(Ty::Array(Box::new(Ty::Char), 3)), 5);
+        assert_eq!(m.size(), 15);
+        assert_eq!(m.align(), 1);
+    }
+
+    #[test]
+    fn arrays_decay_to_pointers() {
+        let a = Ty::Array(Box::new(Ty::Int), 10);
+        assert_eq!(a.decay(), Ty::Int.ptr_to());
+        assert_eq!(Ty::Int.decay(), Ty::Int);
+    }
+
+    #[test]
+    fn pointee_walks_one_level() {
+        let p = Ty::Float.ptr_to();
+        assert_eq!(p.pointee(), Some(&Ty::Float));
+        assert_eq!(Ty::Int.pointee(), None);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(Ty::Int.ptr_to().to_string(), "int*");
+        assert_eq!(Ty::Array(Box::new(Ty::Char), 4).to_string(), "char[4]");
+    }
+
+    #[test]
+    #[should_panic(expected = "void has no size")]
+    fn void_has_no_size() {
+        let _ = Ty::Void.size();
+    }
+}

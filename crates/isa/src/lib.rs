@@ -1,0 +1,185 @@
+//! `br-isa` — instruction-set definitions for the two machines of the paper.
+//!
+//! The study compares:
+//!
+//! * the **baseline machine** — a conventional RISC: 32-bit fixed-length
+//!   instructions, load/store architecture, delayed branches, 32 data
+//!   registers, 32 FP registers (the paper's Figure 10 formats), and
+//! * the **branch-register machine** — 16 data registers, 16 FP
+//!   registers, 8 branch registers `b[0..7]` with 8 paired instruction
+//!   registers, *no branch instructions*: every instruction carries a
+//!   3-bit `br` field naming the branch register that supplies the next
+//!   instruction address (the paper's Figure 11 formats).
+//!
+//! This crate defines the shared instruction type [`MInst`], the per-machine
+//! 32-bit encodings with their differing field widths (13-bit vs 11-bit
+//! immediates, 5-bit vs 4-bit register numbers), an RTL-style [`Display`]
+//! that matches the notation of the paper's Figures 3–4, and a two-pass
+//! assembler producing loadable [`Program`] images.
+//!
+//! # Architectural conventions fixed by this reproduction
+//!
+//! * `b[0]` is the program counter; an instruction whose `br` field is 0
+//!   falls through.
+//! * Any instruction with `br != 0` transfers control to the address in
+//!   `b[br]` *and*, as a side effect, stores the address of the next
+//!   sequential instruction into `b[7]` (the paper's return-address rule).
+//! * The compare-with-assignment instruction writes `b[7] = cond ?
+//!   b[bt] : fall-through`, where the fall-through is the address after
+//!   the *following* instruction (the compiler always places the carrier
+//!   of the conditional jump immediately after the compare).
+//! * `HI`/`LO` address halves split 21/11 on both machines; the low half
+//!   is combined with [`AluOp::OrLo`], which zero-extends its immediate.
+//!
+//! [`Display`]: std::fmt::Display
+
+pub mod asm;
+pub mod encode;
+pub mod minst;
+pub mod program;
+
+pub use asm::{AsmFunc, AsmItem, AsmProgram, DataItem, Label, Reloc, SymRef};
+pub use encode::{decode, encode, EncodeError};
+pub use minst::{AluOp, BReg, Cc, FReg, FpuOp, MInst, MemWidth, Reg, Src2};
+pub use program::{Program, TextWord};
+
+use std::fmt;
+
+/// Which of the two evaluated machines an artefact belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Machine {
+    /// Conventional RISC with delayed branches (32 data registers).
+    Baseline,
+    /// Branch-register machine (16 data registers, 8 branch registers).
+    BranchReg,
+}
+
+impl Machine {
+    /// Number of general-purpose data registers.
+    pub fn num_regs(self) -> u8 {
+        match self {
+            Machine::Baseline => 32,
+            Machine::BranchReg => 16,
+        }
+    }
+
+    /// Number of floating-point registers.
+    pub fn num_fregs(self) -> u8 {
+        match self {
+            Machine::Baseline => 32,
+            Machine::BranchReg => 16,
+        }
+    }
+
+    /// Number of branch registers (0 on the baseline).
+    pub fn num_bregs(self) -> u8 {
+        match self {
+            Machine::Baseline => 0,
+            Machine::BranchReg => 8,
+        }
+    }
+
+    /// Width in bits of the signed immediate in three-address formats.
+    /// The branch-register machine gives up two bits relative to the
+    /// baseline ("smaller range of available constants").
+    pub fn imm_bits(self) -> u32 {
+        match self {
+            Machine::Baseline => 13,
+            Machine::BranchReg => 11,
+        }
+    }
+
+    /// Whether a signed immediate fits this machine's three-address format.
+    pub fn imm_fits(self, v: i32) -> bool {
+        let b = self.imm_bits();
+        v >= -(1 << (b - 1)) && v < (1 << (b - 1))
+    }
+
+    /// Human-readable machine name as used in the paper's Table I.
+    pub fn name(self) -> &'static str {
+        match self {
+            Machine::Baseline => "baseline",
+            Machine::BranchReg => "branch register",
+        }
+    }
+}
+
+impl fmt::Display for Machine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Application binary interface constants shared by the code generator,
+/// assembler, and emulators.
+pub mod abi {
+    use crate::minst::{BReg, Reg};
+
+    /// Hardwired-zero register (both machines).
+    pub const ZERO: Reg = Reg(0);
+    /// Integer return-value register and first argument register.
+    pub const RET: Reg = Reg(1);
+
+    /// Baseline: stack pointer.
+    pub const BASE_SP: Reg = Reg(30);
+    /// Baseline: link register written by `call`/`jmpl`.
+    pub const BASE_LINK: Reg = Reg(31);
+    /// Baseline: assembler temporary.
+    pub const BASE_TEMP: Reg = Reg(29);
+
+    /// Branch-register machine: stack pointer.
+    pub const BR_SP: Reg = Reg(14);
+    /// Branch-register machine: assembler temporary.
+    pub const BR_TEMP: Reg = Reg(13);
+
+    /// The PC branch register.
+    pub const B_PC: BReg = BReg(0);
+    /// The scratch / return-address branch register (`b[7]`).
+    pub const B_RET: BReg = BReg(7);
+
+    /// Address where the text segment is loaded.
+    pub const TEXT_BASE: u32 = 0x0000_1000;
+    /// Address where the data segment is loaded (matches
+    /// `br_ir::interp::DATA_BASE` so pointer values agree between the
+    /// IR interpreter and the emulators).
+    pub const DATA_BASE: u32 = 0x0001_0000;
+    /// Total simulated memory size.
+    pub const MEM_SIZE: u32 = 0x0080_0000;
+    /// Initial stack pointer (top of memory, 16-byte aligned).
+    pub const STACK_TOP: u32 = MEM_SIZE - 16;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_file_sizes_match_the_paper() {
+        assert_eq!(Machine::Baseline.num_regs(), 32);
+        assert_eq!(Machine::Baseline.num_fregs(), 32);
+        assert_eq!(Machine::BranchReg.num_regs(), 16);
+        assert_eq!(Machine::BranchReg.num_fregs(), 16);
+        assert_eq!(Machine::BranchReg.num_bregs(), 8);
+    }
+
+    #[test]
+    fn br_machine_has_smaller_immediates() {
+        assert!(Machine::Baseline.imm_bits() > Machine::BranchReg.imm_bits());
+        assert!(Machine::Baseline.imm_fits(4000));
+        assert!(!Machine::BranchReg.imm_fits(4000));
+        assert!(Machine::BranchReg.imm_fits(-1024));
+        assert!(!Machine::BranchReg.imm_fits(-1025));
+        assert!(Machine::BranchReg.imm_fits(1023));
+        assert!(!Machine::BranchReg.imm_fits(1024));
+    }
+
+    #[test]
+    fn hi_lo_split_covers_all_addresses() {
+        // HI(21) << 11 | LO(11) must reconstruct any 32-bit address.
+        let addr: u32 = 0xDEAD_BEEF;
+        let hi = addr >> 11;
+        let lo = addr & 0x7FF;
+        assert_eq!((hi << 11) | lo, addr);
+        assert!(lo < (1 << 11));
+    }
+}

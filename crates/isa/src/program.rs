@@ -1,0 +1,138 @@
+//! Loadable program images produced by the assembler.
+
+use std::collections::HashMap;
+
+use crate::minst::MInst;
+use crate::{abi, Machine};
+
+/// One word of the text segment: an instruction or embedded data
+/// (jump tables live in text, as in the paper's indirect-jump example).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TextWord {
+    /// A decoded instruction.
+    Inst(MInst),
+    /// A raw data word (never executed).
+    Data(u32),
+}
+
+/// A fully assembled program ready to load into an emulator.
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// The target machine.
+    pub machine: Machine,
+    /// Encoded text segment, one `u32` per word, loaded at
+    /// [`abi::TEXT_BASE`].
+    pub code: Vec<u32>,
+    /// Pre-decoded text (parallel to `code`), so emulation need not
+    /// re-decode on every fetch.
+    pub text: Vec<TextWord>,
+    /// Data segment, loaded at [`abi::DATA_BASE`].
+    pub data: Vec<u8>,
+    /// Entry address (the synthesized `_start` stub).
+    pub entry: u32,
+    /// Function and global symbol addresses.
+    pub symbols: HashMap<String, u32>,
+}
+
+impl Program {
+    /// Base address of the text segment.
+    pub fn text_base(&self) -> u32 {
+        abi::TEXT_BASE
+    }
+
+    /// Address just past the last text word.
+    pub fn text_end(&self) -> u32 {
+        abi::TEXT_BASE + (self.code.len() * 4) as u32
+    }
+
+    /// The decoded text word at `addr`, if it is inside the text segment.
+    pub fn fetch(&self, addr: u32) -> Option<&TextWord> {
+        if addr < abi::TEXT_BASE || addr % 4 != 0 {
+            return None;
+        }
+        self.text.get(((addr - abi::TEXT_BASE) / 4) as usize)
+    }
+
+    /// Address of a symbol.
+    pub fn symbol(&self, name: &str) -> Option<u32> {
+        self.symbols.get(name).copied()
+    }
+
+    /// Number of static instructions (excluding embedded data words).
+    pub fn static_inst_count(&self) -> usize {
+        self.text
+            .iter()
+            .filter(|w| matches!(w, TextWord::Inst(_)))
+            .count()
+    }
+
+    /// Produce a human-readable listing (addresses, encodings, RTLs),
+    /// annotated with symbol names — handy for examples and debugging.
+    pub fn listing(&self) -> String {
+        use std::fmt::Write;
+        let mut by_addr: HashMap<u32, Vec<&str>> = HashMap::new();
+        for (name, &addr) in &self.symbols {
+            by_addr.entry(addr).or_default().push(name);
+        }
+        let mut out = String::new();
+        for (i, (w, enc)) in self.text.iter().zip(&self.code).enumerate() {
+            let addr = abi::TEXT_BASE + (i * 4) as u32;
+            if let Some(names) = by_addr.get(&addr) {
+                for n in names {
+                    let _ = writeln!(out, "{n}:");
+                }
+            }
+            match w {
+                TextWord::Inst(inst) => {
+                    let _ = writeln!(out, "  {addr:#07x}: {enc:08x}  {inst}");
+                }
+                TextWord::Data(v) => {
+                    let _ = writeln!(out, "  {addr:#07x}: {enc:08x}  .word {v:#x}");
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Program {
+        Program {
+            machine: Machine::Baseline,
+            code: vec![crate::encode(Machine::Baseline, MInst::Halt).unwrap()],
+            text: vec![TextWord::Inst(MInst::Halt)],
+            data: vec![],
+            entry: abi::TEXT_BASE,
+            symbols: [("_start".to_string(), abi::TEXT_BASE)].into(),
+        }
+    }
+
+    #[test]
+    fn fetch_bounds() {
+        let p = tiny();
+        assert!(p.fetch(abi::TEXT_BASE).is_some());
+        assert!(p.fetch(abi::TEXT_BASE + 4).is_none());
+        assert!(p.fetch(abi::TEXT_BASE - 4).is_none());
+        assert!(p.fetch(abi::TEXT_BASE + 1).is_none());
+        assert_eq!(p.text_end(), abi::TEXT_BASE + 4);
+    }
+
+    #[test]
+    fn listing_contains_symbols_and_rtl() {
+        let p = tiny();
+        let l = p.listing();
+        assert!(l.contains("_start:"));
+        assert!(l.contains("halt"));
+    }
+
+    #[test]
+    fn static_inst_count_skips_data() {
+        let mut p = tiny();
+        p.text.push(TextWord::Data(0x1234));
+        p.code.push(0x1234);
+        assert_eq!(p.static_inst_count(), 1);
+    }
+}

@@ -1,0 +1,196 @@
+//! Analytic per-transfer delays (Figures 5 and 7) and whole-run cycle
+//! estimates (Section 7).
+
+use br_emu::{Measurements, MAX_DIST_BUCKET};
+
+/// The three branch-handling schemes the paper contrasts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchScheme {
+    /// Conventional RISC, no delayed branch (Figures 5a/7a).
+    NoDelayed,
+    /// Delayed branch with one delay slot — the baseline machine
+    /// (Figures 5b/7b).
+    Delayed,
+    /// The branch-register machine (Figures 5c/7c).
+    BranchRegisters,
+}
+
+impl BranchScheme {
+    /// All schemes, in the figures' order.
+    pub const ALL: [BranchScheme; 3] = [
+        BranchScheme::NoDelayed,
+        BranchScheme::Delayed,
+        BranchScheme::BranchRegisters,
+    ];
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            BranchScheme::NoDelayed => "no delayed branch",
+            BranchScheme::Delayed => "delayed branch",
+            BranchScheme::BranchRegisters => "branch registers",
+        }
+    }
+}
+
+/// Pipeline delay of an *unconditional* transfer (Figure 5), assuming the
+/// branch-register machine's target was prefetched in time.
+pub fn uncond_delay(scheme: BranchScheme, stages: u32) -> u32 {
+    match scheme {
+        BranchScheme::NoDelayed => stages.saturating_sub(1),
+        BranchScheme::Delayed => stages.saturating_sub(2),
+        BranchScheme::BranchRegisters => 0,
+    }
+}
+
+/// Pipeline delay of a *conditional* transfer (Figure 7).
+pub fn cond_delay(scheme: BranchScheme, stages: u32) -> u32 {
+    match scheme {
+        BranchScheme::NoDelayed => stages.saturating_sub(1),
+        BranchScheme::Delayed => stages.saturating_sub(2),
+        BranchScheme::BranchRegisters => stages.saturating_sub(3),
+    }
+}
+
+/// A cycle estimate decomposed into its parts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CycleEstimate {
+    /// One cycle per executed instruction.
+    pub instructions: u64,
+    /// Structural transfer delays (Figures 5/7).
+    pub transfer_stalls: u64,
+    /// Additional stalls from late address calculations (Figure 9;
+    /// branch-register machine only).
+    pub prefetch_stalls: u64,
+    /// Sum of the above.
+    pub total: u64,
+}
+
+/// Estimate cycles for a machine using `scheme` over measurements `m`
+/// (the paper's "each instruction executes in one machine cycle, and no
+/// other pipeline delays except for transfers of control").
+pub fn cycles(scheme: BranchScheme, m: &Measurements, stages: u32) -> CycleEstimate {
+    assert!(
+        scheme != BranchScheme::BranchRegisters,
+        "use br_machine_cycles for the branch-register machine"
+    );
+    let transfer_stalls = m.cond_transfers * cond_delay(scheme, stages) as u64
+        + m.uncond_transfers * uncond_delay(scheme, stages) as u64;
+    CycleEstimate {
+        instructions: m.instructions,
+        transfer_stalls,
+        prefetch_stalls: 0,
+        total: m.instructions + transfer_stalls,
+    }
+}
+
+/// Estimate cycles for the branch-register machine: structural
+/// conditional delays plus Figure 9 prefetch bubbles. A transfer whose
+/// target address was computed `d` dynamic instructions earlier needs
+/// `d ≥ stages - 1` to hide the prefetch entirely; otherwise the bubble
+/// is `(stages - 1) - d`, floored by the structural delay.
+pub fn br_machine_cycles(m: &Measurements, stages: u32) -> CycleEstimate {
+    let required = stages.saturating_sub(1) as u64;
+    let structural_cond = cond_delay(BranchScheme::BranchRegisters, stages) as u64;
+    let mut transfer_stalls = m.cond_transfers * structural_cond;
+    let mut prefetch_stalls = 0u64;
+    for d in 1..=MAX_DIST_BUCKET as u64 {
+        if d >= required {
+            break;
+        }
+        let shortfall = required - d;
+        let cond = m.cond_transfer_dist[d as usize];
+        let uncond = m.transfer_dist[d as usize] - cond;
+        // Conditional transfers already pay the structural delay; only
+        // the part of the bubble beyond it is extra.
+        prefetch_stalls += cond * shortfall.saturating_sub(structural_cond);
+        prefetch_stalls += uncond * shortfall;
+    }
+    // Bucket 0 (distance > MAX_DIST_BUCKET or always-ready) never stalls
+    // for any pipeline up to MAX_DIST_BUCKET + 1 stages.
+    transfer_stalls += 0;
+    CycleEstimate {
+        instructions: m.instructions,
+        transfer_stalls,
+        prefetch_stalls,
+        total: m.instructions + transfer_stalls + prefetch_stalls,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure5_unconditional_delays() {
+        // 3-stage pipeline: 2 / 1 / 0 — exactly Figure 5.
+        assert_eq!(uncond_delay(BranchScheme::NoDelayed, 3), 2);
+        assert_eq!(uncond_delay(BranchScheme::Delayed, 3), 1);
+        assert_eq!(uncond_delay(BranchScheme::BranchRegisters, 3), 0);
+        // "regardless of the number of stages in the pipeline"
+        assert_eq!(uncond_delay(BranchScheme::BranchRegisters, 7), 0);
+    }
+
+    #[test]
+    fn figure7_conditional_delays() {
+        // 3-stage: 2 / 1 / 0.
+        assert_eq!(cond_delay(BranchScheme::NoDelayed, 3), 2);
+        assert_eq!(cond_delay(BranchScheme::Delayed, 3), 1);
+        assert_eq!(cond_delay(BranchScheme::BranchRegisters, 3), 0);
+        // 4-stage: the BR machine pays N-3 = 1.
+        assert_eq!(cond_delay(BranchScheme::BranchRegisters, 4), 1);
+        assert_eq!(cond_delay(BranchScheme::Delayed, 4), 2);
+    }
+
+    #[test]
+    fn prefetch_bubbles_follow_figure9() {
+        let mut m = Measurements::new();
+        m.instructions = 100;
+        m.transfers = 3;
+        m.uncond_transfers = 3;
+        m.transfer_dist[1] = 2; // calculated 1 instruction before use
+        m.transfer_dist[0] = 1; // far enough
+        // 3 stages: required distance 2 → one-cycle bubble each.
+        let e = br_machine_cycles(&m, 3);
+        assert_eq!(e.prefetch_stalls, 2);
+        assert_eq!(e.total, 102);
+        // 4 stages: required 3 → two-cycle bubbles.
+        let e4 = br_machine_cycles(&m, 4);
+        assert_eq!(e4.prefetch_stalls, 4);
+    }
+
+    #[test]
+    fn conditional_structural_delay_subsumes_small_bubbles() {
+        let mut m = Measurements::new();
+        m.instructions = 100;
+        m.transfers = 1;
+        m.cond_transfers = 1;
+        m.transfer_dist[2] = 1;
+        m.cond_transfer_dist[2] = 1;
+        // 4 stages: required 3, shortfall 1, structural cond delay 1 →
+        // the bubble hides inside the structural delay.
+        let e = br_machine_cycles(&m, 4);
+        assert_eq!(e.transfer_stalls, 1);
+        assert_eq!(e.prefetch_stalls, 0);
+    }
+
+    #[test]
+    fn baseline_cycle_accounting() {
+        let mut m = Measurements::new();
+        m.instructions = 1000;
+        m.cond_transfers = 80;
+        m.uncond_transfers = 20;
+        m.transfers = 100;
+        let e = cycles(BranchScheme::Delayed, &m, 3);
+        assert_eq!(e.total, 1100);
+        let e0 = cycles(BranchScheme::NoDelayed, &m, 3);
+        assert_eq!(e0.total, 1200);
+    }
+
+    #[test]
+    #[should_panic(expected = "br_machine_cycles")]
+    fn wrong_scheme_panics() {
+        let m = Measurements::new();
+        let _ = cycles(BranchScheme::BranchRegisters, &m, 3);
+    }
+}

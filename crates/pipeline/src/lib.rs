@@ -1,0 +1,96 @@
+//! `br-pipeline` — pipeline timing models for the paper's Section 6.
+//!
+//! The emulators in `br-emu` are functional; like the paper, cycle counts
+//! are *derived* from the dynamic measurements:
+//!
+//! * a machine **without delayed branches** pays `N-1` cycles per
+//!   transfer (Figures 5a/7a),
+//! * the **baseline** (delayed branch, one slot) pays `N-2`
+//!   (Figures 5b/7b),
+//! * the **branch-register machine** pays `max(N-3, 0)` for conditional
+//!   transfers, nothing for unconditional ones — *provided* the target
+//!   was prefetched early enough; an address calculation only `d < N-1`
+//!   instructions before its transfer leaves an `(N-1) - d` cycle bubble
+//!   (Figure 9).
+//!
+//! [`cycles`] applies these rules to a [`Measurements`] record, and
+//! [`trace`] renders the per-stage pipeline diagrams of Figures 5–8.
+
+pub mod delays;
+pub mod trace;
+
+pub use delays::{br_machine_cycles, cond_delay, cycles, uncond_delay, BranchScheme, CycleEstimate};
+pub use trace::{cond_trace, uncond_trace, PipelineTrace};
+
+use br_emu::Measurements;
+
+/// Cycle estimates for both machines at a given pipeline depth, plus the
+/// headline relative saving (the paper reports 10.6% for 3 stages and
+/// 12.8% for 4).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Comparison {
+    /// Pipeline depth.
+    pub stages: u32,
+    /// Baseline (delayed-branch) cycles.
+    pub baseline_cycles: u64,
+    /// Branch-register machine cycles.
+    pub br_cycles: u64,
+    /// `1 - br/baseline`.
+    pub saving: f64,
+}
+
+/// Compare the two machines' estimated cycles at `stages` pipeline stages.
+///
+/// `base` and `brm` are the dynamic measurements of the *same* workload
+/// run on the baseline and branch-register machines respectively.
+pub fn compare(base: &Measurements, brm: &Measurements, stages: u32) -> Comparison {
+    let baseline_cycles = cycles(BranchScheme::Delayed, base, stages).total;
+    let br_cycles = br_machine_cycles(brm, stages).total;
+    let saving = if baseline_cycles > 0 {
+        1.0 - br_cycles as f64 / baseline_cycles as f64
+    } else {
+        0.0
+    };
+    Comparison {
+        stages,
+        baseline_cycles,
+        br_cycles,
+        saving,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meas(instructions: u64, cond: u64, uncond: u64) -> Measurements {
+        let mut m = Measurements::new();
+        m.instructions = instructions;
+        m.cond_transfers = cond;
+        m.uncond_transfers = uncond;
+        m.transfers = cond + uncond;
+        // All transfers fully prefetched.
+        m.transfer_dist[0] = m.transfers;
+        m
+    }
+
+    #[test]
+    fn br_machine_saves_cycles_at_three_stages() {
+        let base = meas(1000, 100, 50);
+        let brm = meas(950, 100, 50);
+        let c = compare(&base, &brm, 3);
+        // baseline: 1000 + 150*(3-2) = 1150; BR: 950 + 0 = 950.
+        assert_eq!(c.baseline_cycles, 1150);
+        assert_eq!(c.br_cycles, 950);
+        assert!(c.saving > 0.17 && c.saving < 0.18);
+    }
+
+    #[test]
+    fn savings_grow_with_pipeline_depth() {
+        let base = meas(1000, 100, 50);
+        let brm = meas(950, 100, 50);
+        let c3 = compare(&base, &brm, 3);
+        let c4 = compare(&base, &brm, 4);
+        assert!(c4.saving > c3.saving, "{c3:?} vs {c4:?}");
+    }
+}

@@ -1,0 +1,243 @@
+//! The Appendix I "User code" class: `mincost` (VLSI circuit
+//! partitioning) and `vpcc` (a compiler — here, its expression subset).
+
+use crate::textgen::{escape, int_list, rng};
+use crate::Scale;
+use rand::Rng;
+
+/// `mincost` — Kernighan–Lin-style min-cut improvement over a random
+/// circuit graph: compute cut costs, greedily swap the best pair between
+/// partitions, iterate to a fixed point.
+pub fn mincost(scale: Scale) -> String {
+    let n = match scale {
+        Scale::Test => 16,
+        Scale::Paper => 48,
+    };
+    // Random symmetric weight matrix with ~30% density.
+    let mut r = rng(71);
+    let mut w = vec![0i32; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if r.random_range(0..10) < 3 {
+                let v = r.random_range(1..9);
+                w[i * n + j] = v;
+                w[j * n + i] = v;
+            }
+        }
+    }
+    format!(
+        r#"
+int w[{n}][{n}] = {init};
+int part[{n}];
+
+/* external cost minus internal cost of node v */
+int gain(int v) {{
+    int ext = 0, inl = 0;
+    for (int u = 0; u < {n}; u++) {{
+        if (part[u] == part[v]) inl += w[v][u];
+        else ext += w[v][u];
+    }}
+    return ext - inl;
+}}
+
+int cutsize() {{
+    int cut = 0;
+    for (int i = 0; i < {n}; i++)
+        for (int j = i + 1; j < {n}; j++)
+            if (part[i] != part[j]) cut += w[i][j];
+    return cut;
+}}
+
+int main() {{
+    for (int i = 0; i < {n}; i++) part[i] = i & 1;
+    int start = cutsize();
+    int improved = 1;
+    int passes = 0;
+    while (improved && passes < 20) {{
+        improved = 0;
+        passes++;
+        int best_gain = 0, best_a = -1, best_b = -1;
+        for (int a = 0; a < {n}; a++) {{
+            if (part[a] != 0) continue;
+            for (int b = 0; b < {n}; b++) {{
+                if (part[b] != 1) continue;
+                int g = gain(a) + gain(b) - 2 * w[a][b];
+                if (g > best_gain) {{
+                    best_gain = g;
+                    best_a = a;
+                    best_b = b;
+                }}
+            }}
+        }}
+        if (best_a >= 0) {{
+            part[best_a] = 1;
+            part[best_b] = 0;
+            improved = 1;
+        }}
+    }}
+    int end = cutsize();
+    return (start - end + passes * 3 + end) % 256;
+}}
+"#,
+        n = n,
+        init = nested(&w, n),
+    )
+}
+
+fn nested(vals: &[i32], n: usize) -> String {
+    let rows: Vec<String> = vals.chunks(n).map(int_list).collect();
+    format!("{{{}}}", rows.join(", "))
+}
+
+/// `vpcc` — a miniature compiler front end: tokenizer + recursive-descent
+/// parser/evaluator for arithmetic expressions with precedence,
+/// parentheses, and single-letter variables. Heavy in switches, calls,
+/// and pointer-walked text, like a real compiler's scanner.
+pub fn vpcc(scale: Scale) -> String {
+    let n_exprs = match scale {
+        Scale::Test => 12,
+        Scale::Paper => 250,
+    };
+    // Generate random well-formed expressions.
+    let mut r = rng(73);
+    let mut text = String::new();
+    for _ in 0..n_exprs {
+        let e = gen_expr(&mut r, 4);
+        text.push_str(&e);
+        text.push(';');
+    }
+    let input = escape(&text);
+    format!(
+        r#"
+char src[] = "{input}";
+char *cursor;
+int vars[26];
+int tok;      /* 0 end, 1 num, 2 var, else the operator character */
+int tokval;
+
+void advance() {{
+    while (*cursor == ' ') cursor++;
+    char c = *cursor;
+    if (c == 0) {{ tok = 0; return; }}
+    if (c >= '0' && c <= '9') {{
+        int v = 0;
+        while (*cursor >= '0' && *cursor <= '9') {{
+            v = v * 10 + (*cursor - '0');
+            cursor++;
+        }}
+        tok = 1;
+        tokval = v;
+        return;
+    }}
+    if (c >= 'a' && c <= 'z') {{
+        tok = 2;
+        tokval = c - 'a';
+        cursor++;
+        return;
+    }}
+    tok = c;
+    cursor++;
+}}
+
+int expr();
+
+int primary() {{
+    switch (tok) {{
+        case 1: {{ int v = tokval; advance(); return v; }}
+        case 2: {{ int v = vars[tokval]; advance(); return v; }}
+        case 40: {{ /* '(' */
+            advance();
+            int v = expr();
+            if (tok == 41) advance(); /* ')' */
+            return v;
+        }}
+        case 45: {{ /* unary '-' */
+            advance();
+            return -primary();
+        }}
+        default: {{ advance(); return 0; }}
+    }}
+}}
+
+int term() {{
+    int v = primary();
+    while (tok == 42 || tok == 47 || tok == 37) {{ /* * / % */
+        int op = tok;
+        advance();
+        int rhs = primary();
+        if (op == 42) v = v * rhs;
+        else if (rhs != 0) {{
+            if (op == 47) v = v / rhs;
+            else v = v % rhs;
+        }}
+    }}
+    return v;
+}}
+
+int expr() {{
+    int v = term();
+    while (tok == 43 || tok == 45) {{ /* + - */
+        int op = tok;
+        advance();
+        int rhs = term();
+        if (op == 43) v = v + rhs;
+        else v = v - rhs;
+    }}
+    return v;
+}}
+
+int main() {{
+    cursor = src;
+    for (int i = 0; i < 26; i++) vars[i] = i * 3 + 1;
+    advance();
+    int sum = 0;
+    int count = 0;
+    while (tok != 0) {{
+        int v = expr();
+        sum = (sum + v) % 100003;
+        count++;
+        vars[count % 26] = v % 1000;
+        if (tok == 59) advance(); /* ';' */
+    }}
+    if (sum < 0) sum = -sum;
+    return (sum + count) % 256;
+}}
+"#
+    )
+}
+
+fn gen_expr(r: &mut impl Rng, depth: u32) -> String {
+    if depth == 0 || r.random_range(0..4) == 0 {
+        return match r.random_range(0..3) {
+            0 => r.random_range(0..100).to_string(),
+            1 => char::from(b'a' + r.random_range(0..26u8)).to_string(),
+            _ => format!("-{}", r.random_range(1..50)),
+        };
+    }
+    let op = ["+", "-", "*", "/", "%"][r.random_range(0..5)];
+    let a = gen_expr(r, depth - 1);
+    let b = gen_expr(r, depth - 1);
+    if r.random_range(0..3) == 0 {
+        format!("({a}{op}{b})")
+    } else {
+        format!("{a}{op}{b}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    #[test]
+    fn user_programs_generate_source() {
+        for f in [mincost, vpcc] {
+            let s = f(Scale::Test);
+            assert!(s.contains("int main("));
+        }
+    }
+
+    #[test]
+    fn vpcc_expressions_are_ascii() {
+        let s = vpcc(Scale::Test);
+        assert!(s.is_ascii());
+    }
+}

@@ -1,0 +1,60 @@
+//! Quickstart: compile the paper's Figure 2 `strlen` for both machines,
+//! show the generated code in RTL notation (Figures 3 and 4), run both,
+//! and compare the dynamic counts.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use br_core::{Experiment, Machine};
+use br_workloads::strlen_example;
+
+fn main() -> Result<(), br_core::Error> {
+    let src = strlen_example();
+    println!("=== Figure 2: the C function ===");
+    println!("{src}");
+
+    let exp = Experiment::new();
+
+    println!("=== Figure 3: baseline machine (delayed branches) ===");
+    let (base_prog, base_stats) = exp.compile(&src, Machine::Baseline)?;
+    println!("{}", base_prog.listing());
+    println!(
+        "(static: {} instructions; {} delay slots filled, {} left as noops)",
+        base_prog.static_inst_count(),
+        base_stats.slots_filled,
+        base_stats.slots_noop
+    );
+    println!();
+
+    println!("=== Figure 4: branch-register machine ===");
+    let (br_prog, br_stats) = exp.compile(&src, Machine::BranchReg)?;
+    println!("{}", br_prog.listing());
+    println!(
+        "(static: {} instructions; {} hoisted address calcs, {} useful carriers, {} noop carriers)",
+        br_prog.static_inst_count(),
+        br_stats.hoisted_calcs,
+        br_stats.carriers_useful,
+        br_stats.carriers_noop
+    );
+    println!();
+
+    let cmp = exp.run_comparison("strlen", &src)?;
+    println!("=== dynamic comparison ===");
+    println!("both machines return {}", cmp.baseline.exit);
+    println!(
+        "baseline:        {:>6} instructions, {:>4} data refs, {:>4} transfers",
+        cmp.baseline.meas.instructions, cmp.baseline.meas.data_refs, cmp.baseline.meas.transfers
+    );
+    println!(
+        "branch register: {:>6} instructions, {:>4} data refs, {:>4} transfers",
+        cmp.brmach.meas.instructions, cmp.brmach.meas.data_refs, cmp.brmach.meas.transfers
+    );
+    println!(
+        "instruction change: {:+.1}% (the paper's whole-suite figure is -6.8%)",
+        (cmp.brmach.meas.instructions as f64 - cmp.baseline.meas.instructions as f64)
+            / cmp.baseline.meas.instructions as f64
+            * 100.0
+    );
+    Ok(())
+}

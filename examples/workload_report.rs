@@ -1,0 +1,52 @@
+//! Full suite report: run all nineteen Appendix I programs on both
+//! machines and print the Table I comparison plus the headline cycle
+//! savings.
+//!
+//! ```text
+//! cargo run --release --example workload_report [--paper]
+//! ```
+
+use br_core::{pipeline, Experiment, Scale};
+
+fn main() -> Result<(), br_core::Error> {
+    let scale = if std::env::args().any(|a| a == "--paper") {
+        Scale::Paper
+    } else {
+        Scale::Test
+    };
+    let exp = Experiment::new();
+    let report = exp.run_suite(scale)?;
+
+    println!(
+        "{:<12} {:>6} {:>14} {:>14} {:>8}",
+        "program", "exit", "base insts", "br insts", "diff"
+    );
+    for r in &report.rows {
+        println!(
+            "{:<12} {:>6} {:>14} {:>14} {:>7.2}%",
+            r.name,
+            r.baseline.exit,
+            r.baseline.meas.instructions,
+            r.brmach.meas.instructions,
+            (r.brmach.meas.instructions as f64 - r.baseline.meas.instructions as f64)
+                / r.baseline.meas.instructions as f64
+                * 100.0
+        );
+    }
+    let t = report.table1();
+    println!();
+    println!(
+        "Table I totals: instructions {:+.2}% (paper -6.8%), data refs {:+.2}% (paper +2.0%)",
+        t.inst_diff_pct, t.refs_diff_pct
+    );
+    let (b, r) = report.totals();
+    for stages in [3, 4] {
+        let c = pipeline::compare(&b, &r, stages);
+        println!(
+            "{stages}-stage pipeline: {:.1}% fewer cycles (paper: {})",
+            c.saving * 100.0,
+            if stages == 3 { "10.6%" } else { "12.8%" }
+        );
+    }
+    Ok(())
+}

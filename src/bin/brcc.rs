@@ -1,0 +1,181 @@
+//! `brcc` — the MiniC compiler/runner driver.
+//!
+//! ```text
+//! brcc [options] <file.mc | workload-name>
+//!
+//!   --machine base|br     target machine (default: br)
+//!   --emit asm            print the RTL listing instead of running
+//!   --emit ir             print the optimized IR
+//!   --compare             run on both machines and compare counts
+//!   --stats               print dynamic measurements after running
+//!   --bregs N             number of branch registers (2..=8)
+//!   --no-hoist            disable branch-target hoisting
+//!   --fused-compare       Section 9 fast-compare variant
+//!   --fuel N              instruction budget (default 4e9)
+//! ```
+//!
+//! The input is a path to a MiniC source file, or the name of one of the
+//! Appendix I workloads (e.g. `brcc --compare wc`).
+
+use std::process::ExitCode;
+
+use br_core::{BrOptions, Experiment, Machine, Scale};
+
+struct Args {
+    input: Option<String>,
+    machine: Machine,
+    emit: Option<String>,
+    compare: bool,
+    stats: bool,
+    opts: BrOptions,
+    fuel: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        input: None,
+        machine: Machine::BranchReg,
+        emit: None,
+        compare: false,
+        stats: false,
+        opts: BrOptions::default(),
+        fuel: 4_000_000_000,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--machine" => {
+                args.machine = match it.next().as_deref() {
+                    Some("base") | Some("baseline") => Machine::Baseline,
+                    Some("br") | Some("branch-register") => Machine::BranchReg,
+                    other => return Err(format!("bad --machine {other:?}")),
+                }
+            }
+            "--emit" => args.emit = it.next(),
+            "--compare" => args.compare = true,
+            "--stats" => args.stats = true,
+            "--bregs" => {
+                args.opts.num_bregs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("bad --bregs")?;
+            }
+            "--no-hoist" => args.opts.hoisting = false,
+            "--fused-compare" => args.opts.fused_compare = true,
+            "--fuel" => {
+                args.fuel = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("bad --fuel")?;
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other if !other.starts_with('-') => args.input = Some(other.to_string()),
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    if args.input.is_none() {
+        return Err("no input file or workload name".to_string());
+    }
+    Ok(args)
+}
+
+fn load_source(input: &str) -> Result<String, String> {
+    if input.ends_with(".mc") || input.contains('/') {
+        std::fs::read_to_string(input).map_err(|e| format!("cannot read {input}: {e}"))
+    } else if let Some(w) = br_core::by_name(input, Scale::Test) {
+        Ok(w.source)
+    } else {
+        std::fs::read_to_string(input).map_err(|e| {
+            format!("'{input}' is neither a readable file nor a known workload: {e}")
+        })
+    }
+}
+
+fn print_meas(label: &str, m: &br_core::Measurements) {
+    println!(
+        "{label}: {} instructions, {} data refs, {} transfers ({} cond, {:.1}% of insts), {} noops",
+        m.instructions,
+        m.data_refs,
+        m.transfers,
+        m.cond_transfers,
+        m.transfer_fraction() * 100.0,
+        m.noops
+    );
+}
+
+fn real_main() -> Result<(), String> {
+    let args = parse_args().map_err(|e| {
+        if e.is_empty() {
+            usage();
+            std::process::exit(0);
+        }
+        e
+    })?;
+    let src = load_source(args.input.as_deref().unwrap())?;
+    let exp = Experiment {
+        br_opts: args.opts,
+        fuel: args.fuel,
+        ..Experiment::new()
+    };
+
+    if let Some(kind) = &args.emit {
+        match kind.as_str() {
+            "ir" => {
+                let module = br_frontend::compile(&src).map_err(|e| e.to_string())?;
+                print!("{module}");
+            }
+            "asm" => {
+                let (prog, stats) = exp
+                    .compile(&src, args.machine)
+                    .map_err(|e| e.to_string())?;
+                print!("{}", prog.listing());
+                eprintln!(
+                    "({} static instructions; stats: {stats:?})",
+                    prog.static_inst_count()
+                );
+            }
+            other => return Err(format!("unknown --emit {other}")),
+        }
+        return Ok(());
+    }
+
+    if args.compare {
+        let cmp = exp
+            .run_comparison("input", &src)
+            .map_err(|e| e.to_string())?;
+        println!("exit value: {}", cmp.baseline.exit);
+        print_meas("baseline       ", &cmp.baseline.meas);
+        print_meas("branch-register", &cmp.brmach.meas);
+        let d = (cmp.brmach.meas.instructions as f64 - cmp.baseline.meas.instructions as f64)
+            / cmp.baseline.meas.instructions as f64
+            * 100.0;
+        println!("instruction change: {d:+.2}%");
+        return Ok(());
+    }
+
+    let run = exp.run(&src, args.machine).map_err(|e| e.to_string())?;
+    println!("exit value: {}", run.exit);
+    if args.stats {
+        print_meas(args.machine.name(), &run.meas);
+        println!("static: {} instructions, codegen {:#?}", run.static_insts, run.stats);
+    }
+    Ok(())
+}
+
+fn usage() {
+    eprintln!(
+        "usage: brcc [--machine base|br] [--emit asm|ir] [--compare] [--stats]\n\
+         \t[--bregs N] [--no-hoist] [--fused-compare] [--fuel N] <file.mc | workload>"
+    );
+}
+
+fn main() -> ExitCode {
+    match real_main() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("brcc: {e}");
+            usage();
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! **branch-registers** — a reproduction of Davidson & Whalley,
+//! *Reducing the Cost of Branches by Using Registers* (ISCA 1990).
+//!
+//! This umbrella crate re-exports the whole pipeline; see [`br_core`]
+//! for the experiment API and the `examples/` directory for runnable
+//! entry points.
+
+pub use br_codegen as codegen;
+pub use br_core as core;
+pub use br_emu as emu;
+pub use br_frontend as frontend;
+pub use br_icache as icache;
+pub use br_ir as ir;
+pub use br_isa as isa;
+pub use br_pipeline as pipeline;
+pub use br_workloads as workloads;

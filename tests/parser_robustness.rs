@@ -1,0 +1,28 @@
+//! The front end must never panic: arbitrary byte soup and mutated valid
+//! programs either parse or return a CompileError.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn lexer_and_parser_never_panic_on_ascii_soup(s in "[ -~\\n\\t]{0,200}") {
+        let _ = br_frontend::compile(&s);
+    }
+
+    #[test]
+    fn mutated_valid_programs_do_not_panic(
+        cut_at in 0usize..400,
+        insert in "[{}();+*/a-z0-9 ]{0,6}",
+    ) {
+        let base = "int g = 3;\n\
+                    int f(int a, int b) { if (a > b) return a - b; return b; }\n\
+                    int main() { int s = 0; for (int i = 0; i < 9; i++) s += f(i, g); return s; }";
+        let mut s = base.to_string();
+        let at = cut_at.min(s.len());
+        // Only mutate at a character boundary (source is ASCII).
+        s.insert_str(at, &insert);
+        let _ = br_frontend::compile(&s);
+    }
+}
