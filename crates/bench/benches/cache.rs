@@ -1,15 +1,16 @@
-//! Criterion bench for experiment E9: times the cache-hooked emulation
-//! (Section 8 prefetch model) on a branchy workload.
+//! Bench for experiment E9: times the cache-hooked emulation (Section 8
+//! prefetch model) on a branchy workload.
+//!
+//! Plain `harness = false` timing loops (no external bench framework so
+//! the build works offline). Run with `cargo bench -p br-bench`.
 
 use br_core::{by_name, CacheConfig, Experiment, Machine, Scale};
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_cache(c: &mut Criterion) {
+fn main() {
     let exp = Experiment::new();
     let w = by_name("puzzle", Scale::Test).unwrap();
-    let mut g = c.benchmark_group("icache");
-    g.sample_size(10);
     for (label, cfg) in [
         ("prefetch", CacheConfig::default()),
         (
@@ -20,17 +21,15 @@ fn bench_cache(c: &mut Criterion) {
             },
         ),
     ] {
-        g.bench_function(format!("puzzle/{label}"), |b| {
-            b.iter(|| {
-                let (_, stats) = exp
-                    .run_with_cache(&w.source, Machine::BranchReg, cfg)
-                    .unwrap();
-                black_box(stats.stall_cycles)
-            })
-        });
+        let iters = 10u32;
+        // Warmup.
+        let _ = exp.run_with_cache(&w.source, Machine::BranchReg, cfg).unwrap();
+        let start = Instant::now();
+        for _ in 0..iters {
+            let (_, stats) = exp.run_with_cache(&w.source, Machine::BranchReg, cfg).unwrap();
+            black_box(stats.stall_cycles);
+        }
+        let per = start.elapsed() / iters;
+        println!("icache/puzzle/{label:<12} {per:>12.2?}/iter ({iters} iters)");
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_cache);
-criterion_main!(benches);

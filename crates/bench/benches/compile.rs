@@ -1,33 +1,40 @@
-//! Criterion bench for the compiler itself: front end, code generation,
-//! and assembly per machine (useful when hacking on br-codegen).
+//! Bench for the compiler itself: front end, code generation, and
+//! assembly per machine (useful when hacking on br-codegen).
+//!
+//! Plain `harness = false` timing loops (no external bench framework so
+//! the build works offline). Run with `cargo bench -p br-bench`.
 
 use br_core::{by_name, Scale};
 use br_isa::Machine;
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_compile(c: &mut Criterion) {
+fn time<F: FnMut()>(label: &str, iters: u32, mut f: F) {
+    f();
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let per = start.elapsed() / iters;
+    println!("{label:<40} {per:>12.2?}/iter ({iters} iters)");
+}
+
+fn main() {
     let w = by_name("vpcc", Scale::Test).unwrap();
-    let mut g = c.benchmark_group("compile");
-    g.bench_function("vpcc/frontend", |b| {
-        b.iter(|| black_box(br_frontend::compile(&w.source).unwrap()))
+    time("compile/vpcc/frontend", 100, || {
+        black_box(br_frontend::compile(&w.source).unwrap());
     });
     let module = br_frontend::compile(&w.source).unwrap();
     for machine in [Machine::Baseline, Machine::BranchReg] {
-        g.bench_function(format!("vpcc/codegen-{machine}"), |b| {
-            b.iter(|| {
-                let out = br_codegen::compile_module(
-                    &module,
-                    machine,
-                    Default::default(),
-                    Default::default(),
-                );
-                black_box(out.asm.assemble().unwrap().code.len())
-            })
+        time(&format!("compile/vpcc/codegen-{machine}"), 100, || {
+            let out = br_codegen::compile_module(
+                &module,
+                machine,
+                Default::default(),
+                Default::default(),
+            )
+            .unwrap();
+            black_box(out.asm.assemble().unwrap().code.len());
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_compile);
-criterion_main!(benches);

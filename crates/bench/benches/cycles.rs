@@ -1,26 +1,26 @@
-//! Criterion bench for experiment E6: regenerates the cycle-saving
-//! comparison per pipeline depth on measured workloads.
+//! Bench for experiment E6: regenerates the cycle-saving comparison per
+//! pipeline depth on measured workloads.
+//!
+//! Plain `harness = false` timing loop (no external bench framework so
+//! the build works offline). Run with `cargo bench -p br-bench`.
 
 use br_core::{by_name, pipeline, Experiment, Scale};
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_cycles(c: &mut Criterion) {
+fn main() {
     let exp = Experiment::new();
     let w = by_name("grep", Scale::Test).unwrap();
     let cmp = exp.run_comparison(w.name, &w.source).unwrap();
-    let mut g = c.benchmark_group("cycles");
-    g.bench_function("grep/compare-3..8-stages", |b| {
-        b.iter(|| {
-            let mut total = 0.0;
-            for stages in 3..=8 {
-                total += pipeline::compare(&cmp.baseline.meas, &cmp.brmach.meas, stages).saving;
-            }
-            black_box(total)
-        })
-    });
-    g.finish();
+    let iters = 1000u32;
+    let start = Instant::now();
+    for _ in 0..iters {
+        let mut total = 0.0;
+        for stages in 3..=8 {
+            total += pipeline::compare(&cmp.baseline.meas, &cmp.brmach.meas, stages).saving;
+        }
+        black_box(total);
+    }
+    let per = start.elapsed() / iters;
+    println!("cycles/grep/compare-3..8-stages {per:>12.2?}/iter ({iters} iters)");
 }
-
-criterion_group!(benches, bench_cycles);
-criterion_main!(benches);

@@ -1,40 +1,41 @@
-//! Criterion bench for experiment E1: times the full Table I pipeline
-//! (compile + assemble + emulate, both machines) per workload, and the
-//! emulators' raw throughput.
+//! Bench for experiment E1: times the full Table I pipeline (compile +
+//! assemble + emulate, both machines) per workload, and the emulators'
+//! raw throughput.
+//!
+//! Plain `harness = false` timing loops (no external bench framework so
+//! the build works offline). Run with `cargo bench -p br-bench`.
 
 use br_core::{by_name, Experiment, Machine, Scale};
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_table1(c: &mut Criterion) {
+fn time<F: FnMut()>(label: &str, iters: u32, mut f: F) {
+    // One warmup pass, then the timed passes.
+    f();
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let per = start.elapsed() / iters;
+    println!("{label:<40} {per:>12.2?}/iter ({iters} iters)");
+}
+
+fn main() {
     let exp = Experiment::new();
-    let mut g = c.benchmark_group("table1");
-    g.sample_size(10);
     for name in ["wc", "sieve", "puzzle"] {
         let w = by_name(name, Scale::Test).unwrap();
-        g.bench_function(format!("{name}/both-machines"), |b| {
-            b.iter(|| {
-                let cmp = exp.run_comparison(w.name, &w.source).unwrap();
-                black_box(cmp.brmach.meas.instructions)
-            })
+        time(&format!("table1/{name}/both-machines"), 10, || {
+            let cmp = exp.run_comparison(w.name, &w.source).unwrap();
+            black_box(cmp.brmach.meas.instructions);
         });
     }
-    g.finish();
 
-    let mut g = c.benchmark_group("emulator-throughput");
-    g.sample_size(10);
     let w = by_name("sieve", Scale::Test).unwrap();
     for machine in [Machine::Baseline, Machine::BranchReg] {
         let (prog, _) = exp.compile(&w.source, machine).unwrap();
-        g.bench_function(format!("sieve/{machine}"), |b| {
-            b.iter(|| {
-                let mut emu = br_emu::Emulator::new(&prog);
-                black_box(emu.run(u64::MAX).unwrap())
-            })
+        time(&format!("emulator-throughput/sieve/{machine}"), 10, || {
+            let mut emu = br_emu::Emulator::new(&prog);
+            black_box(emu.run(u64::MAX).unwrap());
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_table1);
-criterion_main!(benches);

@@ -7,6 +7,7 @@ use br_isa::{
 };
 
 use crate::emit::{CodegenStats, Emit, FrameLayout};
+use crate::error::CodegenError;
 use crate::regalloc::Allocation;
 use crate::target::{BaseOptions, TargetSpec};
 use crate::vcode::{FrameRef, VFunc, VInst, VSrc, VTerm, VR};
@@ -55,10 +56,12 @@ pub fn emit_baseline(
     target: &TargetSpec,
     alloc: &Allocation,
     opts: BaseOptions,
-) -> (AsmFunc, CodegenStats) {
+) -> Result<(AsmFunc, CodegenStats), CodegenError> {
     let layout = FrameLayout::new(f, save_words(f, alloc));
     let mut e = Emit::new(target, alloc, layout);
-    let link = target.link.expect("baseline has a link register");
+    let link = target
+        .link
+        .ok_or_else(|| CodegenError::internal(&f.name, "baseline target lacks a link register"))?;
 
     // ---- prologue ----
     let size = e.layout.size;
@@ -101,7 +104,7 @@ pub fn emit_baseline(
         for inst in &block.insts {
             match inst {
                 VInst::Call { func, args, dst } => emit_call(&mut e, f, func, args, *dst),
-                other => e.emit_body(f, other),
+                other => e.emit_body(f, other)?,
             }
         }
         let next = if bi + 1 < nblocks {
@@ -119,19 +122,19 @@ pub fn emit_baseline(
             link_off,
             &int_saves,
             &float_saves,
-        );
+        )?;
     }
 
     // ---- delay-slot filling ----
     let items = std::mem::take(&mut e.items);
     let filled = fill_delay_slots(items, opts.fill_delay_slots, &mut e.stats);
-    (
+    Ok((
         AsmFunc {
             name: f.name.clone(),
             items: filled,
         },
         e.stats,
-    )
+    ))
 }
 
 /// sp adjustments can exceed the immediate field; use the temp register.
@@ -315,7 +318,7 @@ fn emit_term(
     link_off: Option<i32>,
     int_saves: &[(u8, i32)],
     float_saves: &[(u8, i32)],
-) {
+) -> Result<(), CodegenError> {
     match term {
         VTerm::Jump(t) => {
             if Some(*t) != next {
@@ -351,7 +354,9 @@ fn emit_term(
                 std::mem::swap(&mut then_bb, &mut else_bb);
             }
             if *float {
-                let bv = b.vr().expect("float compare operand is a register");
+                let bv = b.vr().ok_or_else(|| {
+                    CodegenError::internal(&f.name, "float compare operand is not a register")
+                })?;
                 let fs1 = e.freg(*a);
                 let fs2 = e.freg(bv);
                 e.push(MInst::FCmp { fs1, fs2 });
@@ -497,7 +502,12 @@ fn emit_term(
                         e.push(MInst::FMov { fd, fs, br: 0 });
                     }
                 }
-                Some((VSrc::Imm(_), true)) => unreachable!("float imm returns use the pool"),
+                Some((VSrc::Imm(_), true)) => {
+                    return Err(CodegenError::internal(
+                        &f.name,
+                        "float immediate return not materialized via the pool",
+                    ))
+                }
                 None => {}
             }
             // Restores.
@@ -532,6 +542,7 @@ fn emit_term(
             }
         }
     }
+    Ok(())
 }
 
 fn is_branch(i: &MInst) -> bool {
@@ -630,12 +641,12 @@ mod tests {
         let f = m.function(name).unwrap();
         let t = TargetSpec::for_machine(Machine::Baseline);
         let mut pool = ConstPool::new();
-        let mut vf = select(&m, f, &t, &mut pool);
+        let mut vf = select(&m, f, &t, &mut pool).unwrap();
         vf.max_out_args = compute_max_out_args(&vf, &t);
         let depth = vec![0u32; f.blocks.len()];
         let mut vf2 = vf;
-        let alloc = allocate(&mut vf2, &t, &depth);
-        emit_baseline(&vf2, &t, &alloc, opts)
+        let alloc = allocate(&mut vf2, &t, &depth).unwrap();
+        emit_baseline(&vf2, &t, &alloc, opts).unwrap()
     }
 
     fn insts(f: &AsmFunc) -> Vec<MInst> {

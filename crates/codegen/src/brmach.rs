@@ -9,6 +9,7 @@ use br_isa::{AluOp, AsmFunc, AsmItem, BReg, MInst, Reg, Reloc, Src2, SymRef};
 
 use crate::baseline::{compute_max_out_args, emit_arg_setup, emit_param_moves, emit_result_move};
 use crate::emit::{CodegenStats, Emit, FrameLayout};
+use crate::error::CodegenError;
 use crate::hoist::{self, Hoisted, HoistedWhat, HoistPlan};
 use crate::regalloc::Allocation;
 use crate::target::{BrOptions, TargetSpec};
@@ -409,7 +410,7 @@ pub fn emit_brmach(
     target: &TargetSpec,
     alloc: &Allocation,
     opts: BrOptions,
-) -> (AsmFunc, CodegenStats) {
+) -> Result<(AsmFunc, CodegenStats), CodegenError> {
     vf.max_out_args = compute_max_out_args(vf, target);
 
     // Does anything clobber b[7] before the return carriers?
@@ -571,7 +572,7 @@ pub fn emit_brmach(
         for inst in &block.insts {
             match inst {
                 VInst::Call { func, args, dst } => emit_br_call(&mut ctx, vf, bi as u32, func, args, *dst),
-                other => ctx.e.emit_body(vf, other),
+                other => ctx.e.emit_body(vf, other)?,
             }
         }
 
@@ -597,17 +598,17 @@ pub fn emit_brmach(
             &breg_saves,
             &int_saves,
             &float_saves,
-        );
+        )?;
         debug_assert!(pending.is_empty(), "pending calcs must be flushed");
     }
 
-    (
+    Ok((
         AsmFunc {
             name: vf.name.clone(),
             items: std::mem::take(&mut e.items),
         },
         e.stats,
-    )
+    ))
 }
 
 fn emit_br_call(
@@ -694,7 +695,7 @@ fn emit_br_term(
     breg_saves: &[(u8, i32)],
     int_saves: &[(u8, i32)],
     float_saves: &[(u8, i32)],
-) {
+) -> Result<(), CodegenError> {
     match term {
         VTerm::Jump(t) => {
             if Some(*t) == next.map(|n| n) && next.map(|n| n.0) == Some(t.0) {
@@ -748,7 +749,9 @@ fn emit_br_term(
                 v
             };
             let cmp_reads_float: Vec<u8> = if *float {
-                let bv = rhs.vr().expect("float compare rhs");
+                let bv = rhs.vr().ok_or_else(|| {
+                    CodegenError::internal(&f.name, "float compare rhs must be a register")
+                })?;
                 vec![ctx.e.freg(*a).0, ctx.e.freg(bv).0]
             } else {
                 vec![]
@@ -812,7 +815,9 @@ fn emit_br_term(
             }
             // The compare-with-assignment.
             if *float {
-                let bv = rhs.vr().expect("float compare rhs");
+                let bv = rhs.vr().ok_or_else(|| {
+                    CodegenError::internal(&f.name, "float compare rhs must be a register")
+                })?;
                 let fs1 = ctx.e.freg(*a);
                 let fs2 = ctx.e.freg(bv);
                 ctx.e.push(MInst::FCmpBr {
@@ -852,7 +857,7 @@ fn emit_br_term(
                     let mut none = Vec::new();
                     ctx.emit_jump(b, else_bb.0, &mut none);
                 }
-                return;
+                return Ok(());
             }
             // Carrier immediately after the compare.
             if let Some(AsmItem::Inst(i, r)) = held {
@@ -1007,7 +1012,12 @@ fn emit_br_term(
                         ctx.e.push(MInst::FMov { fd, fs, br: 0 });
                     }
                 }
-                Some((VSrc::Imm(_), true)) => unreachable!("float imm returns use the pool"),
+                Some((VSrc::Imm(_), true)) => {
+                    return Err(CodegenError::internal(
+                        &f.name,
+                        "float immediate return must go through the constant pool",
+                    ))
+                }
                 None => {}
             }
             // Restores.
@@ -1073,6 +1083,7 @@ fn emit_br_term(
             }
         }
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -1088,15 +1099,15 @@ mod tests {
         let f = m.function(name).unwrap();
         let t = TargetSpec::for_machine(Machine::BranchReg);
         let mut pool = ConstPool::new();
-        let mut vf = select(&m, f, &t, &mut pool);
+        let mut vf = select(&m, f, &t, &mut pool).unwrap();
         let cfg = br_ir::Cfg::new(f);
         let dom = br_ir::Dominators::new(&cfg);
         let loops = br_ir::LoopForest::new(&cfg, &dom);
         let depth: Vec<u32> = (0..f.blocks.len())
             .map(|i| loops.depth(br_ir::BlockId(i as u32)))
             .collect();
-        let alloc = allocate(&mut vf, &t, &depth);
-        emit_brmach(f, &mut vf, &t, &alloc, opts)
+        let alloc = allocate(&mut vf, &t, &depth).unwrap();
+        emit_brmach(f, &mut vf, &t, &alloc, opts).unwrap()
     }
 
     fn insts(f: &AsmFunc) -> Vec<MInst> {

@@ -6,6 +6,7 @@ use br_isa::{
     AluOp, AsmItem, FReg, Label, MInst, Machine, MemWidth, Reg, Reloc, Src2, SymRef,
 };
 
+use crate::error::CodegenError;
 use crate::regalloc::Allocation;
 use crate::target::TargetSpec;
 use crate::vcode::{FrameRef, VFunc, VInst, VSrc, VR};
@@ -291,10 +292,9 @@ impl<'a> Emit<'a> {
 
     /// Emit the body of one non-call [`VInst`] (calls are machine-specific).
     ///
-    /// # Panics
-    ///
-    /// Panics on `VInst::Call` — the caller must handle calls.
-    pub fn emit_body(&mut self, f: &VFunc, inst: &VInst) {
+    /// Fails on `VInst::Call` — the caller must handle calls; reporting
+    /// it as a [`CodegenError`] keeps the whole pipeline abort-free.
+    pub fn emit_body(&mut self, f: &VFunc, inst: &VInst) -> Result<(), CodegenError> {
         let temp = self.target.temp;
         match inst {
             VInst::Alu { op, dst, a, b } => {
@@ -437,9 +437,14 @@ impl<'a> Emit<'a> {
                 fs: self.freg(*src),
                 br: 0,
             }),
-            VInst::Call { .. } => panic!("calls are emitted by the machine-specific path"),
+            VInst::Call { .. } => {
+                return Err(CodegenError::internal(
+                    &f.name,
+                    "calls are emitted by the machine-specific path",
+                ))
+            }
         }
-        let _ = f;
+        Ok(())
     }
 
     /// Resolve a call's argument placement: returns `(reg_moves_int,

@@ -1,0 +1,87 @@
+//! Typed code-generation failures.
+//!
+//! The torture harness drives millions of generated programs through the
+//! pipeline; anything shape-dependent that used to `panic!` is reported
+//! through [`CodegenError`] instead so a bad program (or a compiler bug)
+//! surfaces as a value the caller can print, minimize, and file.
+
+use std::fmt;
+
+/// Why code generation failed for one function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodegenError {
+    /// Instruction selection produced a block with no terminator — the
+    /// incoming IR was malformed.
+    UnterminatedBlock {
+        /// Function being compiled.
+        func: String,
+        /// Index of the offending vcode block.
+        block: u32,
+    },
+    /// Register allocation failed to converge within the round limit
+    /// (each round may introduce spill code that itself needs registers).
+    RegallocDiverged {
+        /// Function being compiled.
+        func: String,
+        /// Rounds attempted before giving up.
+        rounds: u32,
+    },
+    /// An internal emitter invariant did not hold (always a compiler bug;
+    /// reported as an error so callers never abort).
+    Internal {
+        /// Function being compiled.
+        func: String,
+        /// What went wrong.
+        msg: String,
+    },
+}
+
+impl CodegenError {
+    /// Shorthand for an [`CodegenError::Internal`] error.
+    pub fn internal(func: &str, msg: impl Into<String>) -> CodegenError {
+        CodegenError::Internal {
+            func: func.to_string(),
+            msg: msg.into(),
+        }
+    }
+}
+
+impl fmt::Display for CodegenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodegenError::UnterminatedBlock { func, block } => {
+                write!(f, "{func}: block {block} has no terminator")
+            }
+            CodegenError::RegallocDiverged { func, rounds } => {
+                write!(
+                    f,
+                    "{func}: register allocation did not converge after {rounds} rounds"
+                )
+            }
+            CodegenError::Internal { func, msg } => write!(f, "{func}: internal error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CodegenError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_function_and_cause() {
+        let e = CodegenError::UnterminatedBlock {
+            func: "f".into(),
+            block: 3,
+        };
+        assert_eq!(e.to_string(), "f: block 3 has no terminator");
+        let e = CodegenError::RegallocDiverged {
+            func: "g".into(),
+            rounds: 40,
+        };
+        assert!(e.to_string().contains("40 rounds"));
+        let e = CodegenError::internal("h", "bad operand");
+        assert_eq!(e.to_string(), "h: internal error: bad operand");
+    }
+}

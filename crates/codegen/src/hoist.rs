@@ -183,11 +183,13 @@ pub fn plan(ir: &Function, vf: &VFunc, opts: &BrOptions, reserve_stash: bool) ->
         let Some((lvl, breg)) = choice else {
             continue; // no register: the calc stays local
         };
+        let Some(ph) = loops.loops[lvl].preheader else {
+            continue; // chain candidates are preheader-checked; stay safe anyway
+        };
         assigned.entry(breg).or_default().push(lvl);
         if callee_pool.contains(&breg) && !plan.used_callee.contains(&breg) {
             plan.used_callee.push(breg);
         }
-        let ph = loops.loops[lvl].preheader.expect("checked");
         let what = match &key {
             CalcKey::Block(t) => HoistedWhat::Block(*t),
             CalcKey::Func(f) => HoistedWhat::Func(f.clone()),
@@ -237,7 +239,7 @@ mod tests {
         let f = m.function(name).unwrap();
         let t = TargetSpec::for_machine(Machine::BranchReg);
         let mut pool = ConstPool::new();
-        let vf = select(&m, f, &t, &mut pool);
+        let vf = select(&m, f, &t, &mut pool).unwrap();
         (plan(f, &vf, opts, false), vf)
     }
 

@@ -13,6 +13,7 @@ use br_ir::{
 };
 use br_isa::{AluOp, Cc, FpuOp, MemWidth};
 
+use crate::error::CodegenError;
 use crate::target::TargetSpec;
 use crate::vcode::{FrameRef, VBlock, VFunc, VInst, VSrc, VTerm, VR};
 
@@ -64,7 +65,16 @@ pub fn cond_to_cc(c: Cond) -> Cc {
 }
 
 /// Select instructions for `func`.
-pub fn select(module: &Module, func: &Function, _target: &TargetSpec, pool: &mut ConstPool) -> VFunc {
+///
+/// Fails with [`CodegenError::UnterminatedBlock`] when the incoming IR
+/// has a block without a terminator; downstream passes rely on every
+/// vcode block being terminated.
+pub fn select(
+    module: &Module,
+    func: &Function,
+    _target: &TargetSpec,
+    pool: &mut ConstPool,
+) -> Result<VFunc, CodegenError> {
     let mut vf = VFunc {
         name: func.name.clone(),
         blocks: (0..func.blocks.len()).map(|_| VBlock::default()).collect(),
@@ -92,7 +102,15 @@ pub fn select(module: &Module, func: &Function, _target: &TargetSpec, pool: &mut
         .blocks
         .iter()
         .any(|b| b.insts.iter().any(|i| i.is_call()));
-    vf
+    for (bi, b) in vf.blocks.iter().enumerate() {
+        if b.term.is_none() {
+            return Err(CodegenError::UnterminatedBlock {
+                func: func.name.clone(),
+                block: bi as u32,
+            });
+        }
+    }
+    Ok(vf)
 }
 
 /// Force an IR operand into a vreg of the right class.
@@ -445,7 +463,7 @@ mod tests {
         let f = m.function(name).unwrap();
         let t = TargetSpec::for_machine(Machine::Baseline);
         let mut pool = ConstPool::new();
-        select(&m, f, &t, &mut pool)
+        select(&m, f, &t, &mut pool).unwrap()
     }
 
     #[test]
@@ -482,7 +500,7 @@ mod tests {
         let f = m.function("f").unwrap();
         let t = TargetSpec::for_machine(Machine::Baseline);
         let mut pool = ConstPool::new();
-        let vf = select(&m, f, &t, &mut pool);
+        let vf = select(&m, f, &t, &mut pool).unwrap();
         let items = pool.into_items();
         assert_eq!(items.len(), 1);
         assert_eq!(items[0].1, 2.5f32.to_bits());
@@ -521,7 +539,7 @@ mod tests {
         let f = m.function("f").unwrap();
         let t = TargetSpec::for_machine(Machine::Baseline);
         let mut pool = ConstPool::new();
-        let vf = select(&m, f, &t, &mut pool);
+        let vf = select(&m, f, &t, &mut pool).unwrap();
         assert_eq!(vf.blocks.len(), f.blocks.len());
         for (ib, vb) in f.blocks.iter().zip(&vf.blocks) {
             assert_eq!(ib.term().successors().len(), vb.term().successors().len());

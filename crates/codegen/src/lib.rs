@@ -24,7 +24,7 @@
 //! use br_isa::Machine;
 //!
 //! let module = br_frontend::compile("int main() { return 2 + 3; }")?;
-//! let out = compile_module(&module, Machine::BranchReg, Default::default(), Default::default());
+//! let out = compile_module(&module, Machine::BranchReg, Default::default(), Default::default())?;
 //! let program = out.asm.assemble()?;
 //! assert!(program.static_inst_count() > 0);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
@@ -34,6 +34,7 @@ pub mod baseline;
 pub mod brmach;
 pub mod data;
 pub mod emit;
+pub mod error;
 pub mod hoist;
 pub mod isel;
 pub mod regalloc;
@@ -41,6 +42,7 @@ pub mod target;
 pub mod vcode;
 
 pub use emit::CodegenStats;
+pub use error::CodegenError;
 pub use target::{BaseOptions, BrOptions, TargetSpec};
 
 use br_ir::{Cfg, Dominators, LoopForest, Module};
@@ -59,18 +61,15 @@ pub struct CompiledModule {
 ///
 /// `base_opts` affects only the baseline machine; `br_opts` only the
 /// branch-register machine (pass `Default::default()` for the paper's
-/// configuration).
-///
-/// # Panics
-///
-/// Panics if the module contains a declared-but-undefined function that
-/// is reachable (the assembler would report the missing symbol anyway).
+/// configuration). Malformed input and pipeline-invariant violations are
+/// reported as [`CodegenError`]s — this path never panics on program
+/// shape, so differential drivers can compile arbitrary generated code.
 pub fn compile_module(
     module: &Module,
     machine: Machine,
     base_opts: BaseOptions,
     br_opts: BrOptions,
-) -> CompiledModule {
+) -> Result<CompiledModule, CodegenError> {
     let target = TargetSpec::for_machine(machine);
     let mut pool = isel::ConstPool::new();
     let mut asm = AsmProgram::new(machine);
@@ -80,7 +79,7 @@ pub fn compile_module(
         if func.blocks.is_empty() {
             continue; // prototype without a body
         }
-        let mut vf = isel::select(module, func, &target, &mut pool);
+        let mut vf = isel::select(module, func, &target, &mut pool)?;
         vf.max_out_args = baseline::compute_max_out_args(&vf, &target);
 
         // Loop depths for spill costs (and, on the BR machine, hoisting).
@@ -91,10 +90,10 @@ pub fn compile_module(
             .map(|i| loops.depth(br_ir::BlockId(i as u32)))
             .collect();
 
-        let alloc = regalloc::allocate(&mut vf, &target, &depth);
+        let alloc = regalloc::allocate(&mut vf, &target, &depth)?;
         let (afunc, fstats) = match machine {
-            Machine::Baseline => baseline::emit_baseline(&vf, &target, &alloc, base_opts),
-            Machine::BranchReg => brmach::emit_brmach(func, &mut vf, &target, &alloc, br_opts),
+            Machine::Baseline => baseline::emit_baseline(&vf, &target, &alloc, base_opts)?,
+            Machine::BranchReg => brmach::emit_brmach(func, &mut vf, &target, &alloc, br_opts)?,
         };
         stats.accumulate(&fstats);
         asm.funcs.push(afunc);
@@ -102,7 +101,7 @@ pub fn compile_module(
 
     asm.data = data::lower_globals(module);
     asm.data.extend(data::lower_pool(pool.into_items()));
-    CompiledModule { asm, stats }
+    Ok(CompiledModule { asm, stats })
 }
 
 #[cfg(test)]
@@ -114,7 +113,8 @@ mod tests {
     /// Compile and run `src` on `machine`; return (exit value, emulator).
     fn run_on(src: &str, machine: Machine) -> (i32, br_emu::Measurements) {
         let module = br_frontend::compile(src).expect("frontend");
-        let out = compile_module(&module, machine, Default::default(), Default::default());
+        let out = compile_module(&module, machine, Default::default(), Default::default())
+            .expect("codegen");
         let prog = out.asm.assemble().unwrap_or_else(|e| {
             panic!("assemble failed on {machine}: {e}");
         });
@@ -384,7 +384,8 @@ mod tests {
             Machine::BranchReg,
             Default::default(),
             BrOptions::default(),
-        );
+        )
+        .unwrap();
         let without = compile_module(
             &module,
             Machine::BranchReg,
@@ -393,7 +394,8 @@ mod tests {
                 hoisting: false,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         let run = |cm: &CompiledModule| {
             let p = cm.asm.assemble().unwrap();
             let mut emu = Emulator::new(&p);
@@ -418,7 +420,8 @@ mod tests {
             Machine::Baseline,
             BaseOptions::default(),
             Default::default(),
-        );
+        )
+        .unwrap();
         let without = compile_module(
             &module,
             Machine::Baseline,
@@ -426,7 +429,8 @@ mod tests {
                 fill_delay_slots: false,
             },
             Default::default(),
-        );
+        )
+        .unwrap();
         assert!(with.stats.slots_filled > 0);
         let run = |cm: &CompiledModule| {
             let p = cm.asm.assemble().unwrap();
@@ -455,7 +459,7 @@ mod tests {
         "#;
         let module = br_frontend::compile(src).unwrap();
         let run = |opts: BrOptions| {
-            let out = compile_module(&module, Machine::BranchReg, Default::default(), opts);
+            let out = compile_module(&module, Machine::BranchReg, Default::default(), opts).unwrap();
             let p = out.asm.assemble().unwrap();
             let mut emu = Emulator::new(&p);
             let exit = emu.run(10_000_000).unwrap();
@@ -481,13 +485,15 @@ mod tests {
             let module = br_frontend::compile(&w.source).unwrap();
             let base = {
                 let out =
-                    compile_module(&module, Machine::Baseline, Default::default(), Default::default());
+                    compile_module(&module, Machine::Baseline, Default::default(), Default::default())
+                        .unwrap();
                 let p = out.asm.assemble().unwrap();
                 let mut emu = Emulator::new(&p);
                 emu.run(100_000_000).unwrap()
             };
             let fused = {
-                let out = compile_module(&module, Machine::BranchReg, Default::default(), exp_opts);
+                let out = compile_module(&module, Machine::BranchReg, Default::default(), exp_opts)
+                    .unwrap();
                 let p = out.asm.assemble().unwrap();
                 let mut emu = Emulator::new(&p);
                 emu.run(100_000_000).unwrap()
@@ -506,7 +512,8 @@ mod tests {
             Machine::BranchReg,
             Default::default(),
             Default::default(),
-        );
+        )
+        .unwrap();
         let s = &out.stats;
         assert!(s.hoisted_calcs > 0);
         assert!(s.carriers_useful + s.carriers_noop + s.carriers_replaced_by_calc > 0);

@@ -10,6 +10,7 @@ use std::collections::HashSet;
 
 use br_ir::{BlockId, RegClass};
 
+use crate::error::CodegenError;
 use crate::target::TargetSpec;
 use crate::vcode::{FrameRef, VBlock, VFunc, VInst, VR};
 
@@ -164,25 +165,34 @@ fn build_graph(f: &VFunc, lv: &VLiveness, depth: &[u32]) -> Graph {
     g
 }
 
+/// Maximum spill rounds before allocation reports divergence.
+const MAX_ROUNDS: u32 = 40;
+
 /// Allocate registers for `f`, rewriting spills in place.
 ///
 /// `depth[b]` is the loop-nesting depth of block `b` (spill-cost weight).
 ///
-/// # Panics
-///
-/// Panics if allocation fails to converge (more than 40 spill rounds),
-/// which would indicate a bug rather than a hard program.
-pub fn allocate(f: &mut VFunc, target: &TargetSpec, depth: &[u32]) -> Allocation {
-    for round in 0.. {
-        assert!(round < 40, "register allocation did not converge");
+/// Fails with [`CodegenError::RegallocDiverged`] if allocation does not
+/// converge within [`MAX_ROUNDS`] spill rounds — that indicates a bug
+/// rather than a hard program, but it must surface as an error, not an
+/// abort, so differential drivers can report and minimize it.
+pub fn allocate(
+    f: &mut VFunc,
+    target: &TargetSpec,
+    depth: &[u32],
+) -> Result<Allocation, CodegenError> {
+    for _ in 0..MAX_ROUNDS {
         let lv = compute_liveness(f);
         let g = build_graph(f, &lv, depth);
         match try_color(f, target, &g) {
-            Ok(alloc) => return alloc,
+            Ok(alloc) => return Ok(alloc),
             Err(spills) => rewrite_spills(f, &spills),
         }
     }
-    unreachable!()
+    Err(CodegenError::RegallocDiverged {
+        func: f.name.clone(),
+        rounds: MAX_ROUNDS,
+    })
 }
 
 /// Attempt to color; on failure return the set of vregs to spill.
@@ -481,9 +491,9 @@ mod tests {
         let f = m.function(name).unwrap();
         let t = TargetSpec::for_machine(machine);
         let mut pool = ConstPool::new();
-        let mut vf = select(&m, f, &t, &mut pool);
+        let mut vf = select(&m, f, &t, &mut pool).unwrap();
         let depth = vec![0u32; vf.blocks.len()];
-        let a = allocate(&mut vf, &t, &depth);
+        let a = allocate(&mut vf, &t, &depth).unwrap();
         (vf, a)
     }
 

@@ -20,21 +20,56 @@
 
 use std::fmt;
 
-pub use br_codegen::{BaseOptions, BrOptions, CodegenStats};
+pub use br_codegen::{BaseOptions, BrOptions, CodegenError, CodegenStats};
 pub use br_emu::{EmuError, Measurements};
-pub use br_frontend::CompileError;
+pub use br_frontend::CompileError as FrontendError;
 pub use br_icache::{CacheConfig, CacheStats, ICacheSim};
 pub use br_isa::{Machine, Program};
 pub use br_pipeline as pipeline;
 pub use br_workloads::{by_name, suite, Scale, Workload};
 
+/// Any failure on the source → binary path. Every stage reports through
+/// a typed variant so callers (and the torture harness) can distinguish
+/// a user error in the source from an internal compiler defect.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompileError {
+    /// MiniC front-end error (parse, type check, lowering) with a line.
+    Frontend(FrontendError),
+    /// Code-generation error (isel, regalloc, emission).
+    Codegen(CodegenError),
+    /// Assembler error (encoding, relocation, layout).
+    Asm(String),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Frontend(e) => write!(f, "{e}"),
+            CompileError::Codegen(e) => write!(f, "codegen: {e}"),
+            CompileError::Asm(e) => write!(f, "assembler: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<FrontendError> for CompileError {
+    fn from(e: FrontendError) -> CompileError {
+        CompileError::Frontend(e)
+    }
+}
+
+impl From<CodegenError> for CompileError {
+    fn from(e: CodegenError) -> CompileError {
+        CompileError::Codegen(e)
+    }
+}
+
 /// Unified error type of the experiment pipeline.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Error {
-    /// MiniC front-end error.
+    /// Compilation failed (front end, codegen, or assembly).
     Compile(CompileError),
-    /// Assembler error.
-    Asm(String),
     /// Emulation error.
     Emu(EmuError),
     /// The two machines disagreed on a program's result — a codegen bug.
@@ -49,7 +84,6 @@ impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Error::Compile(e) => write!(f, "compile error: {e}"),
-            Error::Asm(e) => write!(f, "assembler error: {e}"),
             Error::Emu(e) => write!(f, "emulation error: {e}"),
             Error::Mismatch {
                 name,
@@ -68,6 +102,18 @@ impl std::error::Error for Error {}
 impl From<CompileError> for Error {
     fn from(e: CompileError) -> Error {
         Error::Compile(e)
+    }
+}
+
+impl From<FrontendError> for Error {
+    fn from(e: FrontendError) -> Error {
+        Error::Compile(CompileError::Frontend(e))
+    }
+}
+
+impl From<CodegenError> for Error {
+    fn from(e: CodegenError) -> Error {
+        Error::Compile(CompileError::Codegen(e))
     }
 }
 
@@ -132,11 +178,14 @@ impl Experiment {
     ///
     /// # Errors
     ///
-    /// Front-end or assembler errors.
+    /// Front-end, code-generation, or assembler errors.
     pub fn compile(&self, src: &str, machine: Machine) -> Result<(Program, CodegenStats), Error> {
         let module = br_frontend::compile(src)?;
-        let out = br_codegen::compile_module(&module, machine, self.base_opts, self.br_opts);
-        let prog = out.asm.assemble().map_err(|e| Error::Asm(e.to_string()))?;
+        let out = br_codegen::compile_module(&module, machine, self.base_opts, self.br_opts)?;
+        let prog = out
+            .asm
+            .assemble()
+            .map_err(|e| CompileError::Asm(e.to_string()))?;
         Ok((prog, out.stats))
     }
 

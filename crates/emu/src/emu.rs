@@ -45,6 +45,23 @@ impl fmt::Display for EmuError {
 
 impl std::error::Error for EmuError {}
 
+/// An injectable fault, for torture-testing the emulator's error paths.
+/// Steps are 0-based dynamic instruction indices (the value of
+/// [`Measurements::instructions`] when the instruction begins executing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// XOR data register `reg` with `xor_mask` just before step
+    /// `at_step` executes (writes to `r0` are ignored, as in hardware).
+    CorruptReg { at_step: u64, reg: u8, xor_mask: i32 },
+    /// XOR the fetched instruction word with `xor_mask` at step
+    /// `at_step` and re-decode it. An undecodable result surfaces as
+    /// [`EmuError::WrongMachine`] — never a panic.
+    CorruptInst { at_step: u64, xor_mask: u32 },
+    /// Fail the first memory access at or after step `at_step` with
+    /// [`EmuError::BadMem`].
+    FailMem { at_step: u64 },
+}
+
 /// Prefetch-state of one branch register (drives the Figure 9 distance
 /// accounting).
 #[derive(Debug, Clone, Copy)]
@@ -83,6 +100,13 @@ pub struct Emulator<'p> {
     fcc: (f32, f32),
     pc: u32,
     meas: Measurements,
+    /// Pending injected faults (see [`Fault`]).
+    faults: Vec<Fault>,
+    /// Armed by [`Fault::FailMem`]: the next load/store reports `BadMem`.
+    fail_mem: bool,
+    /// The `(addr, value)` written by the currently executing
+    /// instruction, reported to [`ExecHook::retire`].
+    last_store: Option<(u32, i32)>,
 }
 
 impl<'p> Emulator<'p> {
@@ -117,12 +141,28 @@ impl<'p> Emulator<'p> {
             fcc: (0.0, 0.0),
             pc: prog.entry,
             meas: Measurements::new(),
+            faults: Vec::new(),
+            fail_mem: false,
+            last_store: None,
         }
     }
 
     /// The collected dynamic measurements.
     pub fn measurements(&self) -> &Measurements {
         &self.meas
+    }
+
+    /// The current program counter — the faulting address after an
+    /// error, the halt address after a clean run.
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// Arm an injected [`Fault`]. Multiple faults may be queued; each
+    /// fires once. The emulator must surface every injected fault as a
+    /// typed [`EmuError`] (or survive it) — never panic or wedge.
+    pub fn inject(&mut self, fault: Fault) {
+        self.faults.push(fault);
     }
 
     /// Read a 32-bit word from simulated memory (for checking results).
@@ -168,8 +208,55 @@ impl<'p> Emulator<'p> {
         }
     }
 
+    /// Apply any injected faults due at the current step. Called after
+    /// fetch, before execution; may replace the fetched instruction.
+    fn apply_faults(&mut self, pc: u32, inst: MInst) -> Result<MInst, EmuError> {
+        if self.faults.is_empty() {
+            return Ok(inst);
+        }
+        let step = self.meas.instructions;
+        let mut inst = inst;
+        let mut i = 0;
+        while i < self.faults.len() {
+            match self.faults[i] {
+                Fault::CorruptReg {
+                    at_step,
+                    reg,
+                    xor_mask,
+                } if at_step == step => {
+                    let r = (reg & 31) as usize;
+                    if r != 0 {
+                        self.regs[r] ^= xor_mask;
+                    }
+                    self.faults.remove(i);
+                }
+                Fault::CorruptInst { at_step, xor_mask } if at_step == step => {
+                    let idx = pc.wrapping_sub(abi::TEXT_BASE) / 4;
+                    let raw = *self
+                        .prog
+                        .code
+                        .get(idx as usize)
+                        .ok_or(EmuError::BadFetch(pc))?;
+                    inst = br_isa::decode(self.prog.machine, raw ^ xor_mask)
+                        .map_err(|_| EmuError::WrongMachine(pc))?;
+                    self.faults.remove(i);
+                }
+                Fault::FailMem { at_step } if at_step <= step => {
+                    self.fail_mem = true;
+                    self.faults.remove(i);
+                }
+                _ => i += 1,
+            }
+        }
+        Ok(inst)
+    }
+
     fn load(&mut self, pc: u32, addr: u32, w: MemWidth) -> Result<i32, EmuError> {
         self.meas.data_refs += 1;
+        if self.fail_mem {
+            self.fail_mem = false;
+            return Err(EmuError::BadMem { pc, addr });
+        }
         let a = addr as usize;
         match w {
             MemWidth::Byte => self
@@ -187,6 +274,10 @@ impl<'p> Emulator<'p> {
 
     fn store(&mut self, pc: u32, addr: u32, v: i32, w: MemWidth) -> Result<(), EmuError> {
         self.meas.data_refs += 1;
+        if self.fail_mem {
+            self.fail_mem = false;
+            return Err(EmuError::BadMem { pc, addr });
+        }
         let a = addr as usize;
         match w {
             MemWidth::Byte => {
@@ -200,6 +291,7 @@ impl<'p> Emulator<'p> {
                 slice.copy_from_slice(&v.to_le_bytes());
             }
         }
+        self.last_store = Some((addr, v));
         Ok(())
     }
 
@@ -317,15 +409,20 @@ impl<'p> Emulator<'p> {
             }
             let pc = self.pc;
             let inst = self.fetch(pc)?;
+            let inst = self.apply_faults(pc, inst)?;
             hook.fetch(pc);
             self.meas.instructions += 1;
+            self.last_store = None;
             let in_delay_slot = pending.is_some();
 
             if self.exec_shared(pc, inst)? {
                 // fall through
             } else {
                 match inst {
-                    MInst::Halt => return Ok(self.regs[1]),
+                    MInst::Halt => {
+                        hook.retire(pc, None);
+                        return Ok(self.regs[1]);
+                    }
                     MInst::Cmp { rs1, src2 } => {
                         self.cc = (self.regs[rs1.0 as usize], self.src2(src2));
                     }
@@ -346,6 +443,7 @@ impl<'p> Emulator<'p> {
                         if taken {
                             self.meas.cond_taken += 1;
                             pending = Some(pc.wrapping_add((disp as u32) << 2));
+                            hook.retire(pc, None);
                             self.pc = pc + 4;
                             continue;
                         }
@@ -357,6 +455,7 @@ impl<'p> Emulator<'p> {
                         self.meas.transfers += 1;
                         self.meas.uncond_transfers += 1;
                         pending = Some(pc.wrapping_add((disp as u32) << 2));
+                        hook.retire(pc, None);
                         self.pc = pc + 4;
                         continue;
                     }
@@ -368,6 +467,7 @@ impl<'p> Emulator<'p> {
                         self.meas.uncond_transfers += 1;
                         self.regs[abi::BASE_LINK.0 as usize] = (pc + 8) as i32;
                         pending = Some(pc.wrapping_add((disp as u32) << 2));
+                        hook.retire(pc, None);
                         self.pc = pc + 4;
                         continue;
                     }
@@ -380,6 +480,7 @@ impl<'p> Emulator<'p> {
                         let target = (self.regs[rs1.0 as usize] as u32).wrapping_add(off as u32);
                         self.set_reg(rd, (pc + 8) as i32);
                         pending = Some(target);
+                        hook.retire(pc, None);
                         self.pc = pc + 4;
                         continue;
                     }
@@ -388,6 +489,7 @@ impl<'p> Emulator<'p> {
             }
 
             // Advance: if we just executed a delay slot, complete the branch.
+            hook.retire(pc, self.last_store.take());
             self.pc = match pending.take() {
                 Some(t) => t,
                 None => pc + 4,
@@ -422,8 +524,10 @@ impl<'p> Emulator<'p> {
             }
             let pc = self.pc;
             let inst = self.fetch(pc)?;
+            let inst = self.apply_faults(pc, inst)?;
             hook.fetch(pc);
             self.meas.instructions += 1;
+            self.last_store = None;
             let now = self.meas.instructions;
             let seq = pc + 4;
 
@@ -445,7 +549,10 @@ impl<'p> Emulator<'p> {
                 // shared body done
             } else {
                 match inst {
-                    MInst::Halt => return Ok(self.regs[1]),
+                    MInst::Halt => {
+                        hook.retire(pc, None);
+                        return Ok(self.regs[1]);
+                    }
                     MInst::Bcalc { bd, disp, br: _ } => {
                         self.meas.addr_calcs += 1;
                         let target = pc.wrapping_add((disp as u32) << 2);
@@ -526,6 +633,7 @@ impl<'p> Emulator<'p> {
                 };
             }
 
+            hook.retire(pc, self.last_store.take());
             self.pc = next;
         }
     }
@@ -888,6 +996,298 @@ mod tests {
         let mut emu = Emulator::new(&prog);
         assert_eq!(emu.run(1000).unwrap(), 0);
         assert_eq!(emu.measurements().data_refs, 2);
+    }
+
+    // ----- typed-error coverage: one test per EmuError variant, all -----
+    // ----- verifying the emulator stays inspectable after the fault -----
+
+    /// A return sequence for baseline `main` (jmpl through the link).
+    fn base_ret() -> Vec<AsmItem> {
+        vec![
+            AsmItem::Inst(
+                MInst::Jmpl {
+                    rd: Reg(0),
+                    rs1: abi::BASE_LINK,
+                    off: 0,
+                },
+                None,
+            ),
+            AsmItem::Inst(MInst::Nop { br: 0 }, None),
+        ]
+    }
+
+    #[test]
+    fn error_bad_fetch_reports_pc_and_state_survives() {
+        // Falls off the end of the text segment.
+        let prog = asm_main(Machine::Baseline, vec![AsmItem::Inst(alu(1, 0, 9, 0), None)]);
+        let mut emu = Emulator::new(&prog);
+        let err = emu.run(100).unwrap_err();
+        let EmuError::BadFetch(at) = err else {
+            panic!("expected BadFetch, got {err:?}");
+        };
+        assert_eq!(at, prog.text_end());
+        assert_eq!(emu.pc(), at, "pc() points at the faulting fetch");
+        assert_eq!(emu.reg(1), 9, "registers remain inspectable");
+        assert!(emu.measurements().instructions > 0);
+    }
+
+    #[test]
+    fn error_executed_data_reports_pc() {
+        let prog = asm_main(
+            Machine::Baseline,
+            vec![
+                AsmItem::Inst(MInst::Nop { br: 0 }, None),
+                AsmItem::Word(0xDEAD_BEEF, None),
+            ],
+        );
+        let main = prog.symbol("main").unwrap();
+        let mut emu = Emulator::new(&prog);
+        assert_eq!(emu.run(100), Err(EmuError::ExecutedData(main + 4)));
+        assert_eq!(emu.pc(), main + 4);
+    }
+
+    #[test]
+    fn error_bad_mem_reports_pc_and_addr() {
+        let mut items = vec![
+            AsmItem::Inst(alu(2, 0, -16, 0), None), // r2 = -16 (wild)
+            AsmItem::Inst(
+                MInst::Load {
+                    w: MemWidth::Word,
+                    rd: Reg(1),
+                    rs1: Reg(2),
+                    off: 0,
+                    br: 0,
+                },
+                None,
+            ),
+        ];
+        items.extend(base_ret());
+        let prog = asm_main(Machine::Baseline, items);
+        let main = prog.symbol("main").unwrap();
+        let mut emu = Emulator::new(&prog);
+        match emu.run(100) {
+            Err(EmuError::BadMem { pc, addr }) => {
+                assert_eq!(pc, main + 4);
+                assert_eq!(addr, (-16i32) as u32);
+                assert_eq!(emu.pc(), pc);
+            }
+            other => panic!("expected BadMem, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_div_by_zero_reports_pc() {
+        let mut items = vec![AsmItem::Inst(
+            MInst::Alu {
+                op: AluOp::Div,
+                rd: Reg(1),
+                rs1: Reg(1),
+                src2: Src2::Reg(Reg(0)),
+                br: 0,
+            },
+            None,
+        )];
+        items.extend(base_ret());
+        let prog = asm_main(Machine::Baseline, items);
+        let main = prog.symbol("main").unwrap();
+        let mut emu = Emulator::new(&prog);
+        assert_eq!(emu.run(100), Err(EmuError::DivByZero(main)));
+        assert_eq!(emu.pc(), main);
+    }
+
+    #[test]
+    fn error_out_of_fuel_leaves_counts_inspectable() {
+        let l = Label(0);
+        let prog = asm_main(
+            Machine::Baseline,
+            vec![
+                AsmItem::Label(l),
+                AsmItem::Inst(MInst::Ba { disp: 0 }, Some(Reloc::Disp(SymRef::Label(l)))),
+                AsmItem::Inst(MInst::Nop { br: 0 }, None),
+            ],
+        );
+        let mut emu = Emulator::new(&prog);
+        assert_eq!(emu.run(50), Err(EmuError::OutOfFuel));
+        assert_eq!(emu.measurements().instructions, 50);
+    }
+
+    #[test]
+    fn error_branch_in_delay_slot_reports_pc() {
+        let l = Label(0);
+        let prog = asm_main(
+            Machine::Baseline,
+            vec![
+                AsmItem::Label(l),
+                AsmItem::Inst(MInst::Ba { disp: 0 }, Some(Reloc::Disp(SymRef::Label(l)))),
+                // A second branch in the delay slot is illegal.
+                AsmItem::Inst(MInst::Ba { disp: 0 }, Some(Reloc::Disp(SymRef::Label(l)))),
+            ],
+        );
+        let main = prog.symbol("main").unwrap();
+        let mut emu = Emulator::new(&prog);
+        assert_eq!(emu.run(100), Err(EmuError::BranchInDelaySlot(main + 4)));
+    }
+
+    #[test]
+    fn error_wrong_machine_reports_pc() {
+        // Hand-build a program whose text claims to be for the BR machine
+        // but contains a baseline-only branch (the assembler would refuse
+        // to encode this, so bypass it).
+        use crate::hooks::NoHook;
+        use br_isa::TextWord;
+        let prog = Program {
+            machine: Machine::BranchReg,
+            code: vec![0],
+            text: vec![TextWord::Inst(MInst::Ba { disp: 0 })],
+            data: vec![],
+            entry: abi::TEXT_BASE,
+            symbols: Default::default(),
+        };
+        let mut emu = Emulator::new(&prog);
+        assert_eq!(
+            emu.run_with_hook(100, &mut NoHook),
+            Err(EmuError::WrongMachine(abi::TEXT_BASE))
+        );
+    }
+
+    // ----- fault injection -----
+
+    #[test]
+    fn inject_corrupt_reg_changes_the_result() {
+        let mut items = vec![AsmItem::Inst(alu(1, 0, 7, 0), None)];
+        items.extend(base_ret());
+        let prog = asm_main(Machine::Baseline, items);
+        let clean = Emulator::new(&prog).run(100).unwrap();
+        assert_eq!(clean, 7);
+        let mut emu = Emulator::new(&prog);
+        // Flip a bit of r1 right before the return sequence executes.
+        emu.inject(Fault::CorruptReg {
+            at_step: 3,
+            reg: 1,
+            xor_mask: 1 << 4,
+        });
+        let corrupted = emu.run(100).unwrap();
+        assert_eq!(corrupted, 7 ^ (1 << 4));
+    }
+
+    #[test]
+    fn inject_corrupt_reg_to_r0_is_ignored() {
+        let mut items = vec![AsmItem::Inst(alu(1, 0, 7, 0), None)];
+        items.extend(base_ret());
+        let prog = asm_main(Machine::Baseline, items);
+        let mut emu = Emulator::new(&prog);
+        emu.inject(Fault::CorruptReg {
+            at_step: 1,
+            reg: 0,
+            xor_mask: -1,
+        });
+        assert_eq!(emu.run(100).unwrap(), 7);
+    }
+
+    #[test]
+    fn inject_corrupt_inst_surfaces_typed_error_not_panic() {
+        let mut items = vec![AsmItem::Inst(alu(1, 0, 7, 0), None)];
+        items.extend(base_ret());
+        let prog = asm_main(Machine::Baseline, items);
+        let main = prog.symbol("main").unwrap();
+        let idx = ((main - abi::TEXT_BASE) / 4) as usize;
+        // Flip the word to all-ones: opcode 63 does not decode.
+        let mask = prog.code[idx] ^ u32::MAX;
+        let mut emu = Emulator::new(&prog);
+        // The stub runs first; `main` begins at step 2 (call + delay nop).
+        emu.inject(Fault::CorruptInst {
+            at_step: 2,
+            xor_mask: mask,
+        });
+        assert_eq!(emu.run(100), Err(EmuError::WrongMachine(main)));
+        assert_eq!(emu.pc(), main);
+    }
+
+    #[test]
+    fn inject_fail_mem_surfaces_bad_mem() {
+        let mut items = vec![
+            AsmItem::Inst(
+                MInst::Store {
+                    w: MemWidth::Word,
+                    rs: Reg(0),
+                    rs1: abi::BASE_SP,
+                    off: -4,
+                    br: 0,
+                },
+                None,
+            ),
+        ];
+        items.extend(base_ret());
+        let prog = asm_main(Machine::Baseline, items);
+        let main = prog.symbol("main").unwrap();
+        let mut emu = Emulator::new(&prog);
+        emu.inject(Fault::FailMem { at_step: 0 });
+        match emu.run(100) {
+            Err(EmuError::BadMem { pc, .. }) => assert_eq!(pc, main),
+            other => panic!("expected BadMem, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn inject_on_br_machine_also_surfaces_typed_errors() {
+        let prog = asm_main(Machine::BranchReg, vec![AsmItem::Inst(alu(1, 0, 7, 7), None)]);
+        let mut emu = Emulator::new(&prog);
+        emu.inject(Fault::CorruptInst {
+            at_step: 0,
+            xor_mask: u32::MAX,
+        });
+        match emu.run(100) {
+            // Either the flipped word fails to decode (WrongMachine) or it
+            // decodes to something that runs astray — every outcome must be
+            // a typed error or a clean exit, never a panic.
+            Err(_) | Ok(_) => {}
+        }
+    }
+
+    // ----- retire hook -----
+
+    #[test]
+    fn retire_hook_reports_stores_on_both_machines() {
+        use crate::hooks::TraceHook;
+        for machine in [Machine::Baseline, Machine::BranchReg] {
+            let mut items = vec![
+                AsmItem::Inst(alu(2, 0, 77, 0), None),
+                AsmItem::Inst(
+                    MInst::Store {
+                        w: MemWidth::Word,
+                        rs: Reg(2),
+                        rs1: match machine {
+                            Machine::Baseline => abi::BASE_SP,
+                            Machine::BranchReg => abi::BR_SP,
+                        },
+                        off: -8,
+                        br: 0,
+                    },
+                    None,
+                ),
+            ];
+            match machine {
+                Machine::Baseline => {
+                    items.push(AsmItem::Inst(alu(1, 2, 0, 0), None));
+                    items.extend(base_ret());
+                }
+                Machine::BranchReg => items.push(AsmItem::Inst(alu(1, 2, 0, 7), None)),
+            }
+            let prog = asm_main(machine, items);
+            let mut emu = Emulator::new(&prog);
+            let mut hook = TraceHook::default();
+            assert_eq!(emu.run_with_hook(100, &mut hook).unwrap(), 77);
+            assert_eq!(
+                hook.stores,
+                vec![(abi::STACK_TOP - 8, 77)],
+                "store stream on {machine}"
+            );
+            assert_eq!(
+                hook.retires.len() as u64,
+                emu.measurements().instructions,
+                "every executed instruction retires on {machine}"
+            );
+        }
     }
 
     #[test]

@@ -16,6 +16,14 @@ pub trait ExecHook {
     fn prefetch(&mut self, addr: u32) {
         let _ = addr;
     }
+
+    /// Called after an instruction retires (executed without fault), with
+    /// its address and, for stores, the `(address, value)` written. The
+    /// differential oracle uses the store stream to compare the two
+    /// machines' observable memory effects instruction by instruction.
+    fn retire(&mut self, pc: u32, store: Option<(u32, i32)>) {
+        let _ = (pc, store);
+    }
 }
 
 /// A hook that ignores everything (plain functional emulation).
@@ -32,6 +40,10 @@ pub struct TraceHook {
     pub fetches: Vec<u32>,
     /// Prefetch requests, in order.
     pub prefetches: Vec<u32>,
+    /// Retired instruction addresses, in order.
+    pub retires: Vec<u32>,
+    /// Stores performed by retired instructions, in order.
+    pub stores: Vec<(u32, i32)>,
 }
 
 impl ExecHook for TraceHook {
@@ -41,6 +53,13 @@ impl ExecHook for TraceHook {
 
     fn prefetch(&mut self, addr: u32) {
         self.prefetches.push(addr);
+    }
+
+    fn retire(&mut self, pc: u32, store: Option<(u32, i32)>) {
+        self.retires.push(pc);
+        if let Some(s) = store {
+            self.stores.push(s);
+        }
     }
 }
 
@@ -54,8 +73,12 @@ mod tests {
         h.fetch(0x1000);
         h.prefetch(0x2000);
         h.fetch(0x1004);
+        h.retire(0x1000, None);
+        h.retire(0x1004, Some((0x8000, 42)));
         assert_eq!(h.fetches, vec![0x1000, 0x1004]);
         assert_eq!(h.prefetches, vec![0x2000]);
+        assert_eq!(h.retires, vec![0x1000, 0x1004]);
+        assert_eq!(h.stores, vec![(0x8000, 42)]);
     }
 
     #[test]

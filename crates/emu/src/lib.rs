@@ -19,6 +19,6 @@ pub mod emu;
 pub mod hooks;
 pub mod measure;
 
-pub use emu::{EmuError, Emulator};
+pub use emu::{EmuError, Emulator, Fault};
 pub use hooks::{ExecHook, NoHook, TraceHook};
 pub use measure::{Measurements, MAX_DIST_BUCKET};

@@ -1009,7 +1009,10 @@ impl<'a> FnLower<'a> {
     ) -> Result<(Operand, Ty), CompileError> {
         match (k, ta.is_ptr(), tb.is_ptr()) {
             (BinKind::Sub, true, true) => {
-                let size = ta.pointee().unwrap().size() as i64;
+                let size = ta
+                    .pointee()
+                    .ok_or_else(|| CompileError::new(line, "invalid pointer type"))?
+                    .size() as i64;
                 let diff = self.b().bin(BinOp::Sub, RegClass::Int, va, vb);
                 let r = if size == 1 {
                     diff
@@ -1024,7 +1027,10 @@ impl<'a> FnLower<'a> {
                 Ok((Operand::Reg(r), Ty::Int))
             }
             (BinKind::Add | BinKind::Sub, true, false) => {
-                let size = ta.pointee().unwrap().size() as i64;
+                let size = ta
+                    .pointee()
+                    .ok_or_else(|| CompileError::new(line, "invalid pointer type"))?
+                    .size() as i64;
                 let scaled = match vb {
                     Operand::Const(c) => Operand::Const(c * size),
                     _ if size == 1 => vb,

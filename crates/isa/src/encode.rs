@@ -707,7 +707,6 @@ pub fn decode(machine: Machine, word: u32) -> Result<MInst, EncodeError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     fn roundtrip(m: Machine, i: MInst) {
         let w = encode(m, i).unwrap_or_else(|e| panic!("encode {i:?} on {m}: {e}"));
@@ -925,113 +924,137 @@ mod tests {
         assert!(decode(Machine::BranchReg, OP_BCC << 26).is_err());
     }
 
-    // ---- property tests (experiment E11: Figs 10-11 format validation) ----
+    // ---- randomized tests (experiment E11: Figs 10-11 format validation) ----
+    //
+    // Deterministic seeded loops (SplitMix64) instead of a property-test
+    // framework, so the crate builds with no external dependencies.
 
-    fn arb_reg(m: Machine) -> impl Strategy<Value = Reg> {
-        (0..m.num_regs()).prop_map(Reg)
-    }
-    fn arb_freg(m: Machine) -> impl Strategy<Value = FReg> {
-        (0..m.num_fregs()).prop_map(FReg)
-    }
-    fn arb_imm(m: Machine) -> impl Strategy<Value = i32> {
-        let b = m.imm_bits();
-        -(1i32 << (b - 1))..(1i32 << (b - 1))
-    }
-    fn arb_br(m: Machine) -> impl Strategy<Value = u8> {
-        match m {
-            Machine::Baseline => (0u8..1).boxed(),
-            Machine::BranchReg => (0u8..8).boxed(),
+    struct TRng(u64);
+
+    impl TRng {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+        fn below(&mut self, n: u32) -> u32 {
+            (self.next() % n as u64) as u32
+        }
+        fn range(&mut self, lo: i32, hi: i32) -> i32 {
+            lo + self.below((hi - lo) as u32) as i32
         }
     }
-    fn arb_cc() -> impl Strategy<Value = Cc> {
-        prop::sample::select(&Cc::ALL[..])
+
+    const CASES: usize = 512;
+
+    fn arb_reg(r: &mut TRng, m: Machine) -> Reg {
+        Reg(r.below(m.num_regs() as u32) as u8)
+    }
+    fn arb_freg(r: &mut TRng, m: Machine) -> FReg {
+        FReg(r.below(m.num_fregs() as u32) as u8)
+    }
+    fn arb_imm(r: &mut TRng, m: Machine) -> i32 {
+        let b = m.imm_bits();
+        r.range(-(1i32 << (b - 1)), 1i32 << (b - 1))
+    }
+    fn arb_br(r: &mut TRng, m: Machine) -> u8 {
+        match m {
+            Machine::Baseline => 0,
+            Machine::BranchReg => r.below(8) as u8,
+        }
+    }
+    fn arb_cc(r: &mut TRng) -> Cc {
+        Cc::ALL[r.below(Cc::ALL.len() as u32) as usize]
     }
 
-    fn arb_shared(m: Machine) -> impl Strategy<Value = MInst> {
-        let alu = (
-            prop::sample::select(&ALU_OPS[..11]), // exclude OrLo (unsigned imm)
-            arb_reg(m),
-            arb_reg(m),
-            prop_oneof![arb_reg(m).prop_map(Src2::Reg), arb_imm(m).prop_map(Src2::Imm)],
-            arb_br(m),
-        )
-            .prop_map(|(op, rd, rs1, src2, br)| MInst::Alu {
-                op,
-                rd,
-                rs1,
-                src2,
-                br,
-            });
-        let load = (arb_reg(m), arb_reg(m), arb_imm(m), arb_br(m)).prop_map(
-            |(rd, rs1, off, br)| MInst::Load {
+    fn arb_shared(r: &mut TRng, m: Machine) -> MInst {
+        match r.below(5) {
+            0 => MInst::Alu {
+                // Exclude OrLo (unsigned imm).
+                op: ALU_OPS[r.below(11) as usize],
+                rd: arb_reg(r, m),
+                rs1: arb_reg(r, m),
+                src2: if r.below(2) == 0 {
+                    Src2::Reg(arb_reg(r, m))
+                } else {
+                    Src2::Imm(arb_imm(r, m))
+                },
+                br: arb_br(r, m),
+            },
+            1 => MInst::Load {
                 w: MemWidth::Byte,
-                rd,
-                rs1,
-                off,
-                br,
+                rd: arb_reg(r, m),
+                rs1: arb_reg(r, m),
+                off: arb_imm(r, m),
+                br: arb_br(r, m),
             },
-        );
-        let store = (arb_reg(m), arb_reg(m), arb_imm(m), arb_br(m)).prop_map(
-            |(rs, rs1, off, br)| MInst::Store {
+            2 => MInst::Store {
                 w: MemWidth::Word,
-                rs,
-                rs1,
-                off,
-                br,
+                rs: arb_reg(r, m),
+                rs1: arb_reg(r, m),
+                off: arb_imm(r, m),
+                br: arb_br(r, m),
             },
-        );
-        let fpu = (
-            prop::sample::select(&FPU_OPS[..]),
-            arb_freg(m),
-            arb_freg(m),
-            arb_freg(m),
-            arb_br(m),
-        )
-            .prop_map(|(op, fd, fs1, fs2, br)| MInst::Fpu {
-                op,
-                fd,
-                fs1,
-                fs2,
-                br,
-            });
-        let sethi = (arb_reg(m), 0u32..(1 << 21)).prop_map(|(rd, imm)| MInst::Sethi { rd, imm });
-        prop_oneof![alu, load, store, fpu, sethi]
+            3 => MInst::Fpu {
+                op: FPU_OPS[r.below(FPU_OPS.len() as u32) as usize],
+                fd: arb_freg(r, m),
+                fs1: arb_freg(r, m),
+                fs2: arb_freg(r, m),
+                br: arb_br(r, m),
+            },
+            _ => MInst::Sethi {
+                rd: arb_reg(r, m),
+                imm: r.below(1 << 21),
+            },
+        }
     }
 
-    proptest! {
-        #[test]
-        fn shared_instructions_roundtrip_baseline(i in arb_shared(Machine::Baseline)) {
+    #[test]
+    fn shared_instructions_roundtrip_baseline() {
+        let mut r = TRng(0xE11_0001);
+        for _ in 0..CASES {
+            let i = arb_shared(&mut r, Machine::Baseline);
             roundtrip(Machine::Baseline, i);
         }
+    }
 
-        #[test]
-        fn shared_instructions_roundtrip_branchreg(i in arb_shared(Machine::BranchReg)) {
+    #[test]
+    fn shared_instructions_roundtrip_branchreg() {
+        let mut r = TRng(0xE11_0002);
+        for _ in 0..CASES {
+            let i = arb_shared(&mut r, Machine::BranchReg);
             roundtrip(Machine::BranchReg, i);
         }
+    }
 
-        #[test]
-        fn baseline_control_flow_roundtrips(
-            cc in arb_cc(),
-            float in any::<bool>(),
-            disp in -(1i32 << 21)..(1i32 << 21),
-            disp26 in -(1i32 << 25)..(1i32 << 25),
-        ) {
+    #[test]
+    fn baseline_control_flow_roundtrips() {
+        let mut r = TRng(0xE11_0003);
+        for _ in 0..CASES {
+            let cc = arb_cc(&mut r);
+            let float = r.below(2) == 0;
+            let disp = r.range(-(1i32 << 21), 1i32 << 21);
+            let disp26 = r.range(-(1i32 << 25), 1i32 << 25);
             roundtrip(Machine::Baseline, MInst::Bcc { cc, float, disp });
             roundtrip(Machine::Baseline, MInst::Ba { disp: disp26 });
             roundtrip(Machine::Baseline, MInst::Call { disp: disp26 });
         }
+    }
 
-        #[test]
-        fn br_control_flow_roundtrips(
-            cc in arb_cc(),
-            bd in 0u8..8,
-            bt in 0u8..8,
-            rs1 in arb_reg(Machine::BranchReg),
-            imm in arb_imm(Machine::BranchReg),
-            disp in -(1i32 << 19)..(1i32 << 19),
-            br in 0u8..8,
-        ) {
-            let m = Machine::BranchReg;
+    #[test]
+    fn br_control_flow_roundtrips() {
+        let m = Machine::BranchReg;
+        let mut r = TRng(0xE11_0004);
+        for _ in 0..CASES {
+            let cc = arb_cc(&mut r);
+            let bd = r.below(8) as u8;
+            let bt = r.below(8) as u8;
+            let rs1 = arb_reg(&mut r, m);
+            let imm = arb_imm(&mut r, m);
+            let disp = r.range(-(1i32 << 19), 1i32 << 19);
+            let br = r.below(8) as u8;
             roundtrip(m, MInst::Bcalc { bd: BReg(bd), disp, br });
             roundtrip(m, MInst::CmpBr { cc, bt: BReg(bt), rs1, src2: Src2::Imm(imm), br });
             roundtrip(m, MInst::BMovB { bd: BReg(bd), bs: BReg(bt), br });
@@ -1039,21 +1062,30 @@ mod tests {
             roundtrip(m, MInst::BStore { bs: BReg(bt), rs1, off: imm, br });
             roundtrip(m, MInst::BLoad { bd: BReg(bd), rs1, src2: Src2::Reg(Reg(3)), br });
         }
+    }
 
-        #[test]
-        fn decode_never_panics(w in any::<u32>(), base in any::<bool>()) {
-            let m = if base { Machine::Baseline } else { Machine::BranchReg };
-            let _ = decode(m, w);
+    #[test]
+    fn decode_never_panics() {
+        let mut r = TRng(0xE11_0005);
+        for _ in 0..4096 {
+            let w = r.next() as u32;
+            let _ = decode(Machine::Baseline, w);
+            let _ = decode(Machine::BranchReg, w);
         }
+    }
 
-        #[test]
-        fn decode_encode_decode_is_stable(w in any::<u32>(), base in any::<bool>()) {
-            let m = if base { Machine::Baseline } else { Machine::BranchReg };
-            if let Ok(i) = decode(m, w) {
-                // Decoded instructions may not re-encode to the same word
-                // (padding bits), but must re-encode and re-decode equal.
-                let w2 = encode(m, i).expect("decoded inst must encode");
-                prop_assert_eq!(decode(m, w2).unwrap(), i);
+    #[test]
+    fn decode_encode_decode_is_stable() {
+        let mut r = TRng(0xE11_0006);
+        for _ in 0..4096 {
+            let w = r.next() as u32;
+            for m in [Machine::Baseline, Machine::BranchReg] {
+                if let Ok(i) = decode(m, w) {
+                    // Decoded instructions may not re-encode to the same word
+                    // (padding bits), but must re-encode and re-decode equal.
+                    let w2 = encode(m, i).expect("decoded inst must encode");
+                    assert_eq!(decode(m, w2).unwrap(), i);
+                }
             }
         }
     }

@@ -1,0 +1,249 @@
+//! `br-torture` CLI — see TORTURE.md at the repo root.
+//!
+//! ```text
+//! br-torture --seed N --iters M [--fuel F]     differential fuzz run
+//! br-torture --demo-fault                      fault-injection demo
+//! br-torture --demo-miscompile                 wrong-code-catch demo
+//! ```
+//!
+//! Exit status is 0 only if every iteration agreed (or the demo behaved
+//! as documented); any divergence prints a minimized reproduction and
+//! exits 1.
+
+use br_emu::{EmuError, Emulator, Fault};
+use br_isa::Machine;
+use br_torture::{
+    check_src, count_stmts, gen::GenConfig, generate, iter_seed, minimize, oracle, render,
+    DEFAULT_FUEL,
+};
+
+struct Args {
+    seed: u64,
+    iters: u64,
+    fuel: u64,
+    demo_fault: bool,
+    demo_miscompile: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seed: 42,
+        iters: 1000,
+        fuel: DEFAULT_FUEL,
+        demo_fault: false,
+        demo_miscompile: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut num = |name: &str| -> Result<u64, String> {
+            let v = it.next().ok_or_else(|| format!("{name} needs a value"))?;
+            // Divergence reports print seeds in hex; accept them back.
+            let parsed = match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+                Some(hex) => u64::from_str_radix(hex, 16),
+                None => v.parse(),
+            };
+            parsed.map_err(|e| format!("{name}: {e}"))
+        };
+        match a.as_str() {
+            "--seed" => args.seed = num("--seed")?,
+            "--iters" => args.iters = num("--iters")?,
+            "--fuel" => args.fuel = num("--fuel")?,
+            "--demo-fault" => args.demo_fault = true,
+            "--demo-miscompile" => args.demo_miscompile = true,
+            "--help" | "-h" => {
+                return Err("usage: br-torture [--seed N] [--iters M] [--fuel F] \
+                            [--demo-fault] [--demo-miscompile]"
+                    .into())
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let code = if args.demo_fault {
+        demo_fault(args.fuel)
+    } else if args.demo_miscompile {
+        demo_miscompile(args.seed, args.fuel)
+    } else {
+        fuzz(&args)
+    };
+    std::process::exit(code);
+}
+
+// ------------------------------------------------------------------ fuzz
+
+fn fuzz(args: &Args) -> i32 {
+    let cfg = GenConfig::default();
+    let mut base_insts = 0u64;
+    let mut br_insts = 0u64;
+    let mut stores = 0usize;
+    for i in 0..args.iters {
+        let s = iter_seed(args.seed, i);
+        let ast = generate(s, cfg);
+        let src = render(&ast);
+        match check_src(&src, args.fuel) {
+            Ok(a) => {
+                base_insts += a.base_instructions;
+                br_insts += a.br_instructions;
+                stores += a.global_stores;
+                if (i + 1) % 200 == 0 {
+                    println!(
+                        "[{}/{}] ok — {} baseline insts, {} br insts, {} global stores so far",
+                        i + 1,
+                        args.iters,
+                        base_insts,
+                        br_insts,
+                        stores
+                    );
+                }
+            }
+            Err(d) => {
+                println!("iteration {i} (seed {s:#x}) DIVERGED: {d}");
+                println!("minimizing ({} statements)...", count_stmts(&ast));
+                let min = minimize(&ast, |cand| {
+                    check_src(&render(cand), args.fuel).is_err()
+                });
+                let min_src = render(&min);
+                let final_d = check_src(&min_src, args.fuel)
+                    .expect_err("minimizer preserves failure");
+                println!(
+                    "minimized to {} statements; divergence: {final_d}",
+                    count_stmts(&min)
+                );
+                println!("---- minimized reproduction ----\n{min_src}");
+                println!(
+                    "replay with: cargo run -p br-torture -- --seed {s} --iters 1"
+                );
+                return 1;
+            }
+        }
+    }
+    println!(
+        "{} iterations, 0 divergences ({} baseline insts, {} br insts, {} global stores)",
+        args.iters, base_insts, br_insts, stores
+    );
+    0
+}
+
+// ----------------------------------------------------------------- demos
+
+/// Compile a small fixed program and inject each fault kind, showing that
+/// the emulator surfaces a *typed* error (or a changed-but-clean result)
+/// instead of wedging or panicking.
+fn demo_fault(fuel: u64) -> i32 {
+    let src = "
+        int g;
+        int main() {
+            int s = 0;
+            for (int i = 0; i < 20; i++) { s = s + i; g = s; }
+            return s & 255;
+        }
+    ";
+    let module = br_frontend::compile(src).expect("demo source compiles");
+    let mut failures = 0;
+    for machine in [Machine::Baseline, Machine::BranchReg] {
+        let prog = match oracle::compile_for(&module, machine) {
+            Ok(p) => p,
+            Err(e) => {
+                println!("compile failed: {e}");
+                return 1;
+            }
+        };
+        let clean = Emulator::new(&prog).run(fuel).expect("clean run succeeds");
+        println!("{machine:?}: clean exit = {clean}");
+        let faults: [(&str, Fault); 3] = [
+            (
+                "corrupt r3 at step 40 (xor 0x10)",
+                Fault::CorruptReg {
+                    at_step: 40,
+                    reg: 3,
+                    xor_mask: 0x10,
+                },
+            ),
+            (
+                "flip instruction word at step 25 to all-ones",
+                Fault::CorruptInst {
+                    at_step: 25,
+                    xor_mask: 0xFFFF_FFFF,
+                },
+            ),
+            (
+                "fail the next memory access after step 10",
+                Fault::FailMem { at_step: 10 },
+            ),
+        ];
+        for (what, fault) in faults {
+            let mut emu = Emulator::new(&prog);
+            emu.inject(fault);
+            match emu.run(fuel) {
+                Ok(v) => println!("  {what}: completed with exit {v} (pc {:#x})", emu.pc()),
+                Err(e) => {
+                    println!("  {what}: typed error `{e}` at pc {:#x}", emu.pc());
+                    // The typed errors the injector is expected to raise.
+                    if !matches!(
+                        e,
+                        EmuError::WrongMachine(_)
+                            | EmuError::BadMem { .. }
+                            | EmuError::BadFetch(_)
+                            | EmuError::ExecutedData(_)
+                            | EmuError::DivByZero(_)
+                            | EmuError::OutOfFuel
+                            | EmuError::BranchInDelaySlot(_)
+                    ) {
+                        failures += 1;
+                    }
+                }
+            }
+        }
+    }
+    if failures == 0 {
+        println!("all injected faults surfaced as typed errors — no panics, no hangs");
+        0
+    } else {
+        1
+    }
+}
+
+/// Generate a program, deliberately miscompile it (negate the first
+/// compare-and-branch of the BR binary), let the oracle catch it, and
+/// minimize the witness program.
+fn demo_miscompile(seed: u64, fuel: u64) -> i32 {
+    let cfg = GenConfig::default();
+    for i in 0..1000u64 {
+        let s = iter_seed(seed, i);
+        let ast = generate(s, cfg);
+        let still_fails = |cand: &br_torture::TortureAst| -> bool {
+            let Ok(module) = br_frontend::compile(&render(cand)) else {
+                return false;
+            };
+            oracle::sabotaged_br_misbehaves(&module, fuel)
+        };
+        if !still_fails(&ast) {
+            continue; // sabotage happened to be benign — try the next seed
+        }
+        println!(
+            "seed {s:#x}: negating the first compare-and-branch changes behaviour \
+             ({} statements); minimizing...",
+            count_stmts(&ast)
+        );
+        let min = minimize(&ast, still_fails);
+        println!(
+            "minimized witness ({} statements):\n---- source ----\n{}",
+            count_stmts(&min),
+            render(&min)
+        );
+        println!("the differential oracle catches this miscompile; build is honest");
+        return 0;
+    }
+    println!("no sensitive program found (unexpected)");
+    1
+}

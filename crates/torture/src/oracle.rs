@@ -1,0 +1,352 @@
+//! The differential oracle.
+//!
+//! Runs one MiniC source through three independent executions — the IR
+//! interpreter, the baseline machine, and the branch-register machine —
+//! under a fuel watchdog, and checks that every observable agrees:
+//!
+//! 1. the exit value (`main`'s return),
+//! 2. the final contents of every global variable,
+//! 3. the ordered stream of stores into the global data region
+//!    (baseline vs branch-register, captured via the `retire` hook).
+//!
+//! Stack traffic is deliberately excluded from (3): the two machines
+//! have different spill patterns and calling conventions, so their stack
+//! stores legitimately differ. Stores to named globals follow the same
+//! IR order on both machines and must match exactly.
+
+use br_emu::{EmuError, Emulator, TraceHook};
+use br_ir::{InterpError, Interpreter, Module};
+use br_isa::{abi, Machine, Program};
+
+/// Default fuel for each execution (dynamic instructions / IR steps).
+/// Generated programs finish in well under a million steps; anything that
+/// reaches this bound has hung.
+pub const DEFAULT_FUEL: u64 = 20_000_000;
+
+/// Everything that agreed, for reporting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Agreement {
+    /// The common exit value.
+    pub exit: i32,
+    /// IR interpreter step count.
+    pub interp_steps: u64,
+    /// Dynamic instruction count on the baseline machine.
+    pub base_instructions: u64,
+    /// Dynamic instruction count on the branch-register machine.
+    pub br_instructions: u64,
+    /// Number of stores into the global data region (identical on both
+    /// machines by construction once the oracle passes).
+    pub global_stores: usize,
+}
+
+/// One way the three executions can disagree (or fail to complete).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Divergence {
+    /// The front end rejected the program.
+    Frontend(String),
+    /// Code generation failed on one machine.
+    Codegen { machine: Machine, err: String },
+    /// The assembler rejected the generated assembly.
+    Asm { machine: Machine, err: String },
+    /// The IR interpreter faulted (including running out of fuel).
+    Interp(String),
+    /// An emulator faulted (including running out of fuel).
+    Emu { machine: Machine, err: EmuError },
+    /// The three exit values are not all equal.
+    ExitMismatch { interp: i32, base: i32, br: i32 },
+    /// A global's final value differs between executions.
+    GlobalMismatch {
+        name: String,
+        /// Word offset within the global (0 for scalars).
+        word: usize,
+        interp: i32,
+        base: i32,
+        br: i32,
+    },
+    /// The data-region store streams of the two machines differ at
+    /// position `pos` (`None` = that machine's stream ended first).
+    StoreMismatch {
+        pos: usize,
+        base: Option<(u32, i32)>,
+        br: Option<(u32, i32)>,
+    },
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Divergence::Frontend(e) => write!(f, "frontend: {e}"),
+            Divergence::Codegen { machine, err } => {
+                write!(f, "codegen ({machine:?}): {err}")
+            }
+            Divergence::Asm { machine, err } => write!(f, "assembler ({machine:?}): {err}"),
+            Divergence::Interp(e) => write!(f, "interpreter: {e}"),
+            Divergence::Emu { machine, err } => write!(f, "emulator ({machine:?}): {err}"),
+            Divergence::ExitMismatch { interp, base, br } => write!(
+                f,
+                "exit mismatch: interp={interp} baseline={base} branch-reg={br}"
+            ),
+            Divergence::GlobalMismatch {
+                name,
+                word,
+                interp,
+                base,
+                br,
+            } => write!(
+                f,
+                "global `{name}` word {word}: interp={interp} baseline={base} branch-reg={br}"
+            ),
+            Divergence::StoreMismatch { pos, base, br } => write!(
+                f,
+                "store stream diverges at #{pos}: baseline={base:?} branch-reg={br:?}"
+            ),
+        }
+    }
+}
+
+/// Result of one emulated execution.
+struct EmuRun {
+    exit: i32,
+    instructions: u64,
+    /// Stores into the program's global data region, in retirement order.
+    global_stores: Vec<(u32, i32)>,
+    /// Final word values of each named global, in `module.globals` order.
+    globals: Vec<(String, Vec<i32>)>,
+}
+
+/// Compile `module` for `machine` all the way to an executable program.
+pub fn compile_for(module: &Module, machine: Machine) -> Result<Program, Divergence> {
+    let out = br_codegen::compile_module(
+        module,
+        machine,
+        Default::default(),
+        Default::default(),
+    )
+    .map_err(|e| Divergence::Codegen {
+        machine,
+        err: e.to_string(),
+    })?;
+    out.asm.assemble().map_err(|e| Divergence::Asm {
+        machine,
+        err: e.to_string(),
+    })
+}
+
+/// Extent of the named-globals region `[DATA_BASE, DATA_BASE + n)` in a
+/// program, computed from the module's globals and the program's symbols.
+fn globals_end(module: &Module, prog: &Program) -> u32 {
+    let mut end = abi::DATA_BASE;
+    for g in &module.globals {
+        if let Some(base) = prog.symbol(&g.name) {
+            end = end.max(base + g.size() as u32);
+        }
+    }
+    end
+}
+
+fn run_machine(module: &Module, prog: &Program, fuel: u64) -> Result<EmuRun, Divergence> {
+    let machine = prog.machine;
+    let mut emu = Emulator::new(prog);
+    let mut hook = TraceHook::default();
+    let exit = emu
+        .run_with_hook(fuel, &mut hook)
+        .map_err(|err| Divergence::Emu { machine, err })?;
+    let end = globals_end(module, prog);
+    let global_stores = hook
+        .stores
+        .iter()
+        .copied()
+        .filter(|&(addr, _)| addr >= abi::DATA_BASE && addr < end)
+        .collect();
+    let mut globals = Vec::new();
+    for g in &module.globals {
+        let Some(base) = prog.symbol(&g.name) else {
+            continue;
+        };
+        let words = (0..g.size() / 4)
+            .map(|w| emu.read_word(base + 4 * w as u32).unwrap_or(0))
+            .collect();
+        globals.push((g.name.clone(), words));
+    }
+    Ok(EmuRun {
+        exit,
+        instructions: emu.measurements().instructions,
+        global_stores,
+        globals,
+    })
+}
+
+/// Run the full differential check on one MiniC source.
+pub fn check_src(src: &str, fuel: u64) -> Result<Agreement, Divergence> {
+    let module =
+        br_frontend::compile(src).map_err(|e| Divergence::Frontend(e.to_string()))?;
+    check_module(&module, fuel)
+}
+
+/// Run the full differential check on an already-lowered module.
+pub fn check_module(module: &Module, fuel: u64) -> Result<Agreement, Divergence> {
+    // 1. Reference execution: the IR interpreter.
+    let mut interp = Interpreter::new(module).with_fuel(fuel);
+    let interp_exit = interp
+        .run("main", &[])
+        .map_err(|e: InterpError| Divergence::Interp(format!("{e:?}")))?;
+    let interp_steps = interp.steps();
+
+    // 2. Both machines.
+    let base_prog = compile_for(module, Machine::Baseline)?;
+    let br_prog = compile_for(module, Machine::BranchReg)?;
+    let base = run_machine(module, &base_prog, fuel)?;
+    let br = run_machine(module, &br_prog, fuel)?;
+
+    // 3. Exit values.
+    if interp_exit != base.exit || interp_exit != br.exit {
+        return Err(Divergence::ExitMismatch {
+            interp: interp_exit,
+            base: base.exit,
+            br: br.exit,
+        });
+    }
+
+    // 4. Final global memory, word by word, across all three.
+    let mut global_words = 0usize;
+    for (gi, g) in module.globals.iter().enumerate() {
+        let Some(ibase) = interp.global_address(&g.name) else {
+            continue;
+        };
+        for w in 0..g.size() / 4 {
+            let iv = interp.read_word(ibase + 4 * w as u32).unwrap_or(0);
+            let bv = base.globals[gi].1[w];
+            let rv = br.globals[gi].1[w];
+            if iv != bv || iv != rv {
+                return Err(Divergence::GlobalMismatch {
+                    name: g.name.clone(),
+                    word: w,
+                    interp: iv,
+                    base: bv,
+                    br: rv,
+                });
+            }
+            global_words += 1;
+        }
+    }
+    let _ = global_words;
+
+    // 5. Ordered store streams into the global region.
+    let n = base.global_stores.len().max(br.global_stores.len());
+    for pos in 0..n {
+        let b = base.global_stores.get(pos).copied();
+        let r = br.global_stores.get(pos).copied();
+        if b != r {
+            return Err(Divergence::StoreMismatch { pos, base: b, br: r });
+        }
+    }
+
+    Ok(Agreement {
+        exit: interp_exit,
+        interp_steps,
+        base_instructions: base.instructions,
+        br_instructions: br.instructions,
+        global_stores: base.global_stores.len(),
+    })
+}
+
+/// Sabotage an assembled branch-register program by negating the
+/// condition of its first compare-and-branch. Returns `false` if the
+/// program contains none. Used by the `--demo-miscompile` mode (and its
+/// tests) to prove the oracle catches a real wrong-code bug.
+pub fn flip_first_cmpbr(prog: &mut Program) -> bool {
+    use br_isa::{MInst, TextWord};
+    for tw in prog.text.iter_mut() {
+        match tw {
+            TextWord::Inst(MInst::CmpBr { cc, .. })
+            | TextWord::Inst(MInst::Bcc { cc, .. }) => {
+                *cc = cc.negate();
+                return true;
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
+/// Check whether a module, once compiled for the BR machine and run
+/// through [`flip_first_cmpbr`], visibly misbehaves (wrong exit value or
+/// a typed emulator error — never a panic or a hang).
+pub fn sabotaged_br_misbehaves(module: &Module, fuel: u64) -> bool {
+    let Ok(expected) = Interpreter::new(module).with_fuel(fuel).run("main", &[]) else {
+        return false;
+    };
+    let Ok(mut prog) = compile_for(module, Machine::BranchReg) else {
+        return false;
+    };
+    if !flip_first_cmpbr(&mut prog) {
+        return false;
+    }
+    match Emulator::new(&prog).run(fuel) {
+        Ok(v) => v != expected,
+        Err(_) => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_program_agrees() {
+        let src = "
+            int g;
+            int main() {
+                int s = 0;
+                for (int i = 0; i < 10; i++) { s = s + i; g = s; }
+                return s;
+            }
+        ";
+        let a = check_src(src, DEFAULT_FUEL).expect("oracle should agree");
+        assert_eq!(a.exit, 45);
+        assert!(a.global_stores > 0, "loop stores to g must be observed");
+    }
+
+    #[test]
+    fn infinite_loop_is_caught_by_fuel() {
+        let src = "int main() { while (1) { } return 0; }";
+        match check_src(src, 10_000) {
+            Err(Divergence::Interp(e)) => assert!(e.contains("OutOfFuel"), "{e}"),
+            other => panic!("expected interpreter fuel exhaustion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn store_streams_match_on_globals() {
+        // Both machines must store the same values to `g` in the same
+        // order even though their stack traffic differs wildly.
+        let src = "
+            int g;
+            int bump(int x) { g = g + x; return g; }
+            int main() {
+                int t = 0;
+                for (int i = 1; i < 6; i++) { t = bump(i); }
+                return t;
+            }
+        ";
+        let a = check_src(src, DEFAULT_FUEL).expect("oracle should agree");
+        assert_eq!(a.exit, 15);
+        assert_eq!(a.global_stores, 5);
+    }
+
+    #[test]
+    fn deliberate_miscompile_is_caught() {
+        let src = "
+            int main() {
+                int s = 0;
+                for (int i = 0; i < 8; i++) { if (i < 4) { s = s + 10; } }
+                return s;
+            }
+        ";
+        let module = br_frontend::compile(src).unwrap();
+        assert!(
+            sabotaged_br_misbehaves(&module, DEFAULT_FUEL),
+            "negating a compare-and-branch must change observable behaviour"
+        );
+    }
+}

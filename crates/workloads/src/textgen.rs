@@ -3,15 +3,14 @@
 //! All workload inputs come from a fixed-seed RNG so every run of the
 //! suite measures the same dynamic behaviour.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::Rng64;
 
 /// The suite-wide seed.
 pub const SEED: u64 = 0x1990_05_28; // ISCA 1990
 
 /// Deterministic RNG for a given sub-stream.
-pub fn rng(stream: u64) -> StdRng {
-    StdRng::seed_from_u64(SEED ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+pub fn rng(stream: u64) -> Rng64 {
+    Rng64::seed_from_u64(SEED ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
 }
 
 const WORDS: &[&str] = &[

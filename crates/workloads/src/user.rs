@@ -1,9 +1,9 @@
 //! The Appendix I "User code" class: `mincost` (VLSI circuit
 //! partitioning) and `vpcc` (a compiler — here, its expression subset).
 
+use crate::rng::Rng64;
 use crate::textgen::{escape, int_list, rng};
 use crate::Scale;
-use rand::Rng;
 
 /// `mincost` — Kernighan–Lin-style min-cut improvement over a random
 /// circuit graph: compute cut costs, greedily swap the best pair between
@@ -206,7 +206,7 @@ int main() {{
     )
 }
 
-fn gen_expr(r: &mut impl Rng, depth: u32) -> String {
+fn gen_expr(r: &mut Rng64, depth: u32) -> String {
     if depth == 0 || r.random_range(0..4) == 0 {
         return match r.random_range(0..3) {
             0 => r.random_range(0..100).to_string(),

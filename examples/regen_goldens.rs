@@ -1,0 +1,23 @@
+//! Regenerate the `tests/workload_goldens.rs` table after an intentional
+//! workload or input-generation change:
+//!
+//! ```sh
+//! cargo run --release --example regen_goldens
+//! ```
+//!
+//! Prints the `GOLDENS` array with exit values cross-checked between the
+//! baseline and BR machines (the run aborts on any disagreement).
+
+use br_core::{suite, Experiment, Scale};
+
+fn main() {
+    let exp = Experiment::new();
+    println!("const GOLDENS: &[(&str, i32)] = &[");
+    for w in suite(Scale::Test) {
+        let cmp = exp
+            .run_comparison(w.name, &w.source)
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        println!("    (\"{}\", {}),", w.name, cmp.baseline.exit);
+    }
+    println!("];");
+}

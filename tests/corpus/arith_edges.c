@@ -1,0 +1,18 @@
+// Wrapping arithmetic, masked shifts, and guarded division — the exact
+// operator semantics the interpreter and both emulators must share.
+int g0;
+
+int main() {
+    int big = 2147483647;
+    int neg = -2147483647 - 1;
+    int a = big + 1;            /* wraps to INT_MIN */
+    int b = neg - 1;            /* wraps to INT_MAX */
+    int c = (big * 3) ^ (neg >> 3);
+    int d = (a >> 1) + (b << 2);
+    int e = 0;
+    for (int i = 1; i < 9; i++) {
+        e = e + (c / ((i & 7) + 1)) % (i + 1);
+    }
+    g0 = a ^ b ^ c ^ d ^ e;
+    return (a + b + c + d + e) & 255;
+}

@@ -1,0 +1,23 @@
+// Global array read back through its own stores — catches any machine
+// difference in store/load ordering within the data segment.
+int ga[8];
+int g0;
+
+int step(int k) {
+    ga[(k) & 7] = ga[(k + 1) & 7] + k;
+    return ga[(k) & 7];
+}
+
+int main() {
+    for (int i = 0; i < 8; i++) {
+        ga[i & 7] = i * i;
+    }
+    int s = 0;
+    for (int r = 0; r < 3; r++) {
+        for (int i = 0; i < 8; i++) {
+            s = s + step(i + r);
+        }
+    }
+    g0 = s;
+    return s & 255;
+}

@@ -1,0 +1,26 @@
+// Calls inside nested loops — stresses branch-register save/restore on
+// the BR machine (paper Section 6) against the baseline's link register.
+int g0;
+int g1;
+
+int helper(int a, int b) {
+    int t = a;
+    if (a > b) {
+        t = b;
+    } else {
+        t = a + b;
+    }
+    g1 = g1 + t;
+    return t;
+}
+
+int main() {
+    int s = 0;
+    for (int i = 0; i < 6; i++) {
+        for (int j = 0; j < 4; j++) {
+            s = s + helper(i, j);
+            g0 = s;
+        }
+    }
+    return s & 255;
+}

@@ -1,0 +1,23 @@
+// do-while, break, and deeply nested conditionals — irregular control
+// flow that the structured generator cannot produce on its own.
+int g0;
+int ga[8];
+
+int main() {
+    int i = 0;
+    int s = 0;
+    do {
+        i = i + 1;
+        if (i > 5) {
+            if (s > 40) {
+                break;
+            } else {
+                s = s + 10;
+            }
+        }
+        s = s + i;
+        ga[(s) & 7] = i;
+    } while (i < 20);
+    g0 = s;
+    return (s + i) & 255;
+}

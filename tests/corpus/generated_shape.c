@@ -1,0 +1,54 @@
+// A program in the exact shape the torture generator emits (globals,
+// masked array stores, unique loop counters, call DAG, byte-masked
+// return) — pins the generator's source dialect as a regression.
+int g0;
+int g1;
+int g2;
+int ga[8];
+
+int f2(int p0) {
+    int v0 = 3;
+    for (int L4 = 0; L4 < 5; L4++) {
+        v0 = v0 + (p0 ^ L4);
+        ga[(v0) & 7] = p0;
+    }
+    return (v0) & 255;
+}
+
+int f1(int p0, int p1) {
+    int v0 = 3;
+    int v1 = 6;
+    int L2 = 0;
+    while (L2 < 4) {
+        switch (((v0 + L2) & 3)) {
+            case 0:
+                v0 = v0 + f2(p0);
+                break;
+            case 1:
+                g1 = (v0 - p1);
+                break;
+            case 2:
+                v1 = (v1 * 5) >> 2;
+                break;
+            case 3:
+                ga[(p0) & 7] = v1;
+                break;
+        }
+        L2 = L2 + 1;
+    }
+    return ((v0 + v1)) & 255;
+}
+
+int main() {
+    int v0 = 3;
+    int v1 = 6;
+    for (int L0 = 0; L0 < 6; L0++) {
+        if (v0 <= (v1 * 2)) {
+            v0 = v0 + f1(L0, v1);
+        } else {
+            g0 = (g0 + 1);
+        }
+        g2 = (g2 ^ v0);
+    }
+    return ((v0 ^ g2)) & 255;
+}

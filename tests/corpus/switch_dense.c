@@ -1,0 +1,26 @@
+// Dense switch dispatch inside a loop — exercises jump tables on both
+// machines and the indirect-transfer paths of the emulators.
+int g0;
+int ga[8];
+
+int main() {
+    int acc = 0;
+    for (int i = 0; i < 24; i++) {
+        switch (i & 3) {
+            case 0:
+                acc = acc + 1;
+                break;
+            case 1:
+                acc = acc + i;
+                ga[i & 7] = acc;
+                break;
+            case 2:
+                g0 = g0 + acc;
+                break;
+            case 3:
+                acc = acc - 2;
+                break;
+        }
+    }
+    return (acc + g0) & 255;
+}

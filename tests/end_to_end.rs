@@ -3,7 +3,7 @@
 
 use br_core::{Experiment, Machine};
 use br_ir::Interpreter;
-use proptest::prelude::*;
+use br_workloads::rng::Rng64;
 
 /// Run `src` through the interpreter and both machines; all three must
 /// agree on the exit value.
@@ -129,46 +129,49 @@ fn measurements_are_deterministic() {
     assert_eq!(a.exit, b.exit);
 }
 
-// ---- property-based differential testing ----
+// ---- randomized differential testing ----
+//
+// Deterministic seeded loops (no property-test framework so the build
+// works offline); failures reproduce from the fixed seeds below. The
+// full structured generator lives in `crates/torture`.
 
 /// Random arithmetic expressions over two variables, avoiding division
 /// (whose by-zero behaviour would need guards).
-fn arb_expr(depth: u32) -> BoxedStrategy<String> {
-    if depth == 0 {
-        return prop_oneof![
-            (0i32..200).prop_map(|v| v.to_string()),
-            Just("a".to_string()),
-            Just("b".to_string()),
-        ]
-        .boxed();
+fn arb_expr(r: &mut Rng64, depth: u32) -> String {
+    if depth == 0 || r.random_range(0u32..2) == 0 {
+        return match r.random_range(0u32..3) {
+            0 => r.random_range(0i32..200).to_string(),
+            1 => "a".to_string(),
+            _ => "b".to_string(),
+        };
     }
-    let sub = arb_expr(depth - 1);
-    let sub2 = arb_expr(depth - 1);
-    prop_oneof![
-        arb_expr(0),
-        (sub, prop::sample::select(&["+", "-", "*", "&", "|", "^"][..]), sub2)
-            .prop_map(|(x, op, y)| format!("({x} {op} {y})")),
-    ]
-    .boxed()
+    let op = *r.pick(&["+", "-", "*", "&", "|", "^"]);
+    let x = arb_expr(r, depth - 1);
+    let y = arb_expr(r, depth - 1);
+    format!("({x} {op} {y})")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn random_expressions_agree_everywhere(e in arb_expr(4), a in -50i32..50, b in -50i32..50) {
+#[test]
+fn random_expressions_agree_everywhere() {
+    let mut r = Rng64::seed_from_u64(0xE2E_0001);
+    for _ in 0..24 {
+        let e = arb_expr(&mut r, 4);
+        let a = r.random_range(-50i32..50);
+        let b = r.random_range(-50i32..50);
         let src = format!(
             "int main() {{ int a = {a}; int b = {b}; return ({e}) % 251; }}"
         );
         check_consistent(&src);
     }
+}
 
-    #[test]
-    fn random_loops_agree_everywhere(
-        n in 1i32..40,
-        step in 1i32..5,
-        e in arb_expr(2),
-    ) {
+#[test]
+fn random_loops_agree_everywhere() {
+    let mut r = Rng64::seed_from_u64(0xE2E_0002);
+    for _ in 0..24 {
+        let n = r.random_range(1i32..40);
+        let step = r.random_range(1i32..5);
+        let e = arb_expr(&mut r, 2);
         let src = format!(
             "int main() {{
                 int a = 3; int b = 7; int s = 0;

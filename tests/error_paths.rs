@@ -1,7 +1,7 @@
 //! Error-path integration tests: the pipeline must fail loudly and
 //! precisely, never silently.
 
-use br_core::{Error, Experiment, Machine};
+use br_core::{CompileError, Error, Experiment, Machine};
 use br_emu::{EmuError, Emulator};
 use br_isa::{abi, AluOp, AsmFunc, AsmItem, AsmProgram, MInst, Reg, Src2};
 
@@ -126,7 +126,7 @@ fn infinite_loop_exhausts_fuel() {
 fn compile_errors_carry_line_numbers() {
     let exp = Experiment::new();
     match exp.run("int main() {\n  return 1 +;\n}", Machine::Baseline) {
-        Err(Error::Compile(e)) => assert_eq!(e.line, 2),
+        Err(Error::Compile(CompileError::Frontend(e))) => assert_eq!(e.line, 2),
         other => panic!("expected compile error, got {other:?}"),
     }
 }

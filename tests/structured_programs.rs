@@ -1,10 +1,15 @@
-//! Property-based differential testing with *structured* random MiniC
-//! programs: nested `if`/`while` statements over a small state vector,
-//! executed on the IR interpreter and both machines.
+//! Differential testing with *structured* random MiniC programs: nested
+//! `if`/`while` statements over a small state vector, executed on the IR
+//! interpreter and both machines.
+//!
+//! Deterministic seeded generation (no property-test framework so the
+//! build works offline); failures reproduce from the fixed seed below.
+//! The heavier generator (calls, arrays, `for`, `switch`) lives in
+//! `crates/torture`.
 
 use br_core::Experiment;
 use br_ir::Interpreter;
-use proptest::prelude::*;
+use br_workloads::rng::Rng64;
 
 /// A bounded random statement tree, rendered to MiniC. All loops are
 /// guaranteed to terminate by a global step budget the generated program
@@ -29,44 +34,46 @@ enum Expr {
 
 const NVARS: usize = 4;
 
-fn arb_expr(depth: u32) -> BoxedStrategy<Expr> {
-    if depth == 0 {
-        return prop_oneof![
-            (0..NVARS).prop_map(Expr::Var),
-            (-20i32..20).prop_map(Expr::Lit),
-        ]
-        .boxed();
+fn arb_expr(r: &mut Rng64, depth: u32) -> Expr {
+    let leaf = depth == 0 || r.random_range(0u32..7) < 2;
+    if leaf {
+        return if r.random_range(0u32..2) == 0 {
+            Expr::Var(r.random_range(0usize..NVARS))
+        } else {
+            Expr::Lit(r.random_range(-20i32..20))
+        };
     }
-    let sub = arb_expr(depth - 1);
-    prop_oneof![
-        (0..NVARS).prop_map(Expr::Var),
-        (-20i32..20).prop_map(Expr::Lit),
-        (sub.clone(), arb_expr(depth - 1))
-            .prop_map(|(a, b)| Expr::Add(Box::new(a), Box::new(b))),
-        (sub.clone(), arb_expr(depth - 1))
-            .prop_map(|(a, b)| Expr::Sub(Box::new(a), Box::new(b))),
-        (sub.clone(), arb_expr(depth - 1))
-            .prop_map(|(a, b)| Expr::Mul(Box::new(a), Box::new(b))),
-        (sub.clone(), arb_expr(depth - 1))
-            .prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
-        (sub, arb_expr(depth - 1)).prop_map(|(a, b)| Expr::Lt(Box::new(a), Box::new(b))),
-    ]
-    .boxed()
+    let a = Box::new(arb_expr(r, depth - 1));
+    let b = Box::new(arb_expr(r, depth - 1));
+    match r.random_range(0u32..5) {
+        0 => Expr::Add(a, b),
+        1 => Expr::Sub(a, b),
+        2 => Expr::Mul(a, b),
+        3 => Expr::Xor(a, b),
+        _ => Expr::Lt(a, b),
+    }
 }
 
-fn arb_stmt(depth: u32) -> BoxedStrategy<Stmt> {
-    let assign = (0..NVARS, arb_expr(2)).prop_map(|(v, e)| Stmt::Assign(v, e));
-    if depth == 0 {
-        return assign.boxed();
+fn arb_block(r: &mut Rng64, depth: u32, lo: usize, hi: usize) -> Vec<Stmt> {
+    let n = r.random_range(lo..hi);
+    (0..n).map(|_| arb_stmt(r, depth)).collect()
+}
+
+fn arb_stmt(r: &mut Rng64, depth: u32) -> Stmt {
+    let assign = depth == 0 || r.random_range(0u32..5) < 3;
+    if assign {
+        return Stmt::Assign(r.random_range(0usize..NVARS), arb_expr(r, 2));
     }
-    let block = prop::collection::vec(arb_stmt(depth - 1), 1..3);
-    prop_oneof![
-        3 => assign,
-        1 => (arb_expr(1), block.clone(), prop::collection::vec(arb_stmt(depth - 1), 0..2))
-            .prop_map(|(c, t, e)| Stmt::If(c, t, e)),
-        1 => (arb_expr(1), block).prop_map(|(c, b)| Stmt::While(c, b)),
-    ]
-    .boxed()
+    if r.random_range(0u32..2) == 0 {
+        let c = arb_expr(r, 1);
+        let t = arb_block(r, depth - 1, 1, 3);
+        let e = arb_block(r, depth - 1, 0, 2);
+        Stmt::If(c, t, e)
+    } else {
+        let c = arb_expr(r, 1);
+        let b = arb_block(r, depth - 1, 1, 3);
+        Stmt::While(c, b)
+    }
 }
 
 fn render_expr(e: &Expr) -> String {
@@ -134,14 +141,12 @@ fn render_program(stmts: &[Stmt], seeds: &[i32]) -> String {
     format!("int main() {{\n{body}    return ({sum} + steps) % 251;\n}}\n")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    #[test]
-    fn structured_random_programs_agree(
-        stmts in prop::collection::vec(arb_stmt(2), 1..5),
-        seeds in prop::collection::vec(-10i32..10, NVARS..=NVARS),
-    ) {
+#[test]
+fn structured_random_programs_agree() {
+    let mut r = Rng64::seed_from_u64(0x57_0001);
+    for _ in 0..16 {
+        let stmts = arb_block(&mut r, 2, 1, 5);
+        let seeds: Vec<i32> = (0..NVARS).map(|_| r.random_range(-10i32..10)).collect();
         let src = render_program(&stmts, &seeds);
         let module = br_frontend::compile(&src)
             .unwrap_or_else(|e| panic!("compile failed: {e}\n{src}"));
@@ -151,7 +156,7 @@ proptest! {
         let cmp = Experiment::new()
             .run_comparison("prop", &src)
             .unwrap_or_else(|e| panic!("run failed: {e}\n{src}"));
-        prop_assert_eq!(cmp.baseline.exit, expected, "baseline\n{}", src);
-        prop_assert_eq!(cmp.brmach.exit, expected, "branch-register\n{}", src);
+        assert_eq!(cmp.baseline.exit, expected, "baseline\n{src}");
+        assert_eq!(cmp.brmach.exit, expected, "branch-register\n{src}");
     }
 }

@@ -2,30 +2,31 @@
 //!
 //! The inputs are generated from a fixed seed, so these values are fully
 //! deterministic; any change is either an intentional workload edit (then
-//! update the goldens) or a compiler/emulator regression.
+//! regenerate with `cargo run --release --example regen_goldens`) or a
+//! compiler/emulator regression.
 
 use br_core::{by_name, Experiment, Machine, Scale};
 
 const GOLDENS: &[(&str, i32)] = &[
     ("cal", 8),
-    ("cb", 230),
-    ("compact", 82),
-    ("diff", 200),
-    ("grep", 72),
-    ("nroff", 4),
-    ("od", 49),
-    ("sed", 151),
-    ("sort", 59),
-    ("spline", 111),
-    ("tr", 159),
-    ("wc", 231),
+    ("cb", 240),
+    ("compact", 31),
+    ("diff", 192),
+    ("grep", 224),
+    ("nroff", 69),
+    ("od", 123),
+    ("sed", 22),
+    ("sort", 133),
+    ("spline", 209),
+    ("tr", 126),
+    ("wc", 50),
     ("dhrystone", 142),
-    ("matmult", 157),
+    ("matmult", 224),
     ("puzzle", 229),
     ("sieve", 168),
     ("whetstone", 45),
-    ("mincost", 84),
-    ("vpcc", 155),
+    ("mincost", 70),
+    ("vpcc", 26),
 ];
 
 #[test]
