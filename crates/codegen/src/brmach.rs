@@ -403,14 +403,16 @@ fn find_held(
     None
 }
 
-/// Emit one function for the branch-register machine.
+/// Emit one function for the branch-register machine. The returned
+/// [`HoistPlan`] records which branch registers hold hoisted targets in
+/// which blocks, so post-emission checkers can audit the discipline.
 pub fn emit_brmach(
     ir: &Function,
     vf: &mut VFunc,
     target: &TargetSpec,
     alloc: &Allocation,
     opts: BrOptions,
-) -> Result<(AsmFunc, CodegenStats), CodegenError> {
+) -> Result<(AsmFunc, CodegenStats, HoistPlan), CodegenError> {
     vf.max_out_args = compute_max_out_args(vf, target);
 
     // Does anything clobber b[7] before the return carriers?
@@ -608,6 +610,7 @@ pub fn emit_brmach(
             items: std::mem::take(&mut e.items),
         },
         e.stats,
+        plan,
     ))
 }
 
@@ -698,10 +701,8 @@ fn emit_br_term(
 ) -> Result<(), CodegenError> {
     match term {
         VTerm::Jump(t) => {
-            if Some(*t) == next.map(|n| n) && next.map(|n| n.0) == Some(t.0) {
+            if Some(t.0) == next.map(|n| n.0) {
                 // Fall through: no transfer needed at all.
-                ctx.place_pending(pending, None);
-            } else if Some(t.0) == next.map(|n| n.0) {
                 ctx.place_pending(pending, None);
             } else {
                 ctx.emit_jump(b, t.0, pending);
@@ -1107,7 +1108,8 @@ mod tests {
             .map(|i| loops.depth(br_ir::BlockId(i as u32)))
             .collect();
         let alloc = allocate(&mut vf, &t, &depth).unwrap();
-        emit_brmach(f, &mut vf, &t, &alloc, opts).unwrap()
+        let (afunc, stats, _plan) = emit_brmach(f, &mut vf, &t, &alloc, opts).unwrap();
+        (afunc, stats)
     }
 
     fn insts(f: &AsmFunc) -> Vec<MInst> {
@@ -1211,7 +1213,7 @@ mod tests {
         // The loop body of a simple counted loop must not recompute its
         // branch target (that is the whole point of hoisting).
         let src = "int f(int n) { int s = 0; while (n > 0) { s += n; n--; } return s; }";
-        let (f, stats) = emit_for(src, "f", BrOptions::default());
+        let (_f, stats) = emit_for(src, "f", BrOptions::default());
         assert!(stats.hoisted_calcs >= 1);
         // Count bcalcs: with hoisting they appear before the loop, so
         // disabling hoisting must strictly increase the count of

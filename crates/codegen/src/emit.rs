@@ -11,6 +11,11 @@ use crate::regalloc::Allocation;
 use crate::target::TargetSpec;
 use crate::vcode::{FrameRef, VFunc, VInst, VSrc, VR};
 
+/// A call's argument placement: integer register moves, float register
+/// moves (both as `(src, dst)` physical numbers), and stack stores as
+/// `(vreg, out_word, float)`.
+pub type ArgPlan = (Vec<(u8, u8)>, Vec<(u8, u8)>, Vec<(VR, u32, bool)>);
+
 /// Final stack-frame layout of one function.
 ///
 /// ```text
@@ -450,11 +455,7 @@ impl<'a> Emit<'a> {
     /// Resolve a call's argument placement: returns `(reg_moves_int,
     /// reg_moves_float, stack_stores)` where reg moves are `(src, dst)`
     /// physical numbers and stack stores are `(vreg, out_word, float)`.
-    pub fn arg_plan(
-        &self,
-        f: &VFunc,
-        args: &[VR],
-    ) -> (Vec<(u8, u8)>, Vec<(u8, u8)>, Vec<(VR, u32, bool)>) {
+    pub fn arg_plan(&self, f: &VFunc, args: &[VR]) -> ArgPlan {
         let mut int_moves = Vec::new();
         let mut float_moves = Vec::new();
         let mut stack = Vec::new();
@@ -586,8 +587,8 @@ mod tests {
         e.parallel_move(&[(1, 2), (2, 1), (3, 4)], target.temp.0, false);
         // Simulate the emitted moves over a register file.
         let mut regs = [0i32; 32];
-        for r in 0..32 {
-            regs[r] = r as i32 * 10;
+        for (r, v) in regs.iter_mut().enumerate() {
+            *v = r as i32 * 10;
         }
         for item in &e.items {
             if let AsmItem::Inst(

@@ -414,7 +414,7 @@ fn sel_bin(
         BinOp::Sar => AluOp::Sra,
         _ => unreachable!(),
     };
-    let (mut a, mut b) = (a.clone(), b.clone());
+    let (mut a, mut b) = (*a, *b);
     // Commutative ops: put a constant on the right.
     let commutative = matches!(
         aop,

@@ -46,7 +46,7 @@ pub use error::CodegenError;
 pub use target::{BaseOptions, BrOptions, TargetSpec};
 
 use br_ir::{Cfg, Dominators, LoopForest, Module};
-use br_isa::{AsmProgram, Machine};
+use br_isa::{AsmFunc, AsmProgram, Machine};
 
 /// Output of compiling a module for one machine.
 #[derive(Debug, Clone)]
@@ -55,6 +55,132 @@ pub struct CompiledModule {
     pub asm: AsmProgram,
     /// Static code-generation statistics, summed over all functions.
     pub stats: CodegenStats,
+}
+
+/// One observation point in the per-function compilation pipeline,
+/// handed to the gate callback of [`compile_module_with`]. Each variant
+/// is a read-only snapshot taken *after* the named stage ran, so a
+/// checker can attribute an invariant violation to the pass that
+/// introduced it.
+pub enum Stage<'a> {
+    /// Before instruction selection: the optimized IR function.
+    Ir {
+        /// The function about to be compiled.
+        func: &'a br_ir::Function,
+    },
+    /// After register allocation (spills already rewritten in `vcode`).
+    Regalloc {
+        /// The source IR function.
+        func: &'a br_ir::Function,
+        /// Virtual code with allocator temps and spill traffic inserted.
+        vcode: &'a vcode::VFunc,
+        /// The assignment to audit.
+        alloc: &'a regalloc::Allocation,
+        /// Register conventions of the target machine.
+        target: &'a TargetSpec,
+    },
+    /// After final emission: the symbolic instruction stream.
+    Emit {
+        /// The source IR function.
+        func: &'a br_ir::Function,
+        /// The emitted stream (labels, instructions, jump-table words).
+        asm: &'a AsmFunc,
+        /// Which machine the stream targets.
+        machine: Machine,
+        /// The hoisting plan (branch-register machine only).
+        hoist: Option<&'a hoist::HoistPlan>,
+        /// Branch-register options in effect (pools, fused compare).
+        br_opts: BrOptions,
+    },
+}
+
+/// Error from the gated pipeline: either the compiler itself failed, or
+/// the gate rejected a stage's output.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GatedError<E> {
+    /// A codegen stage failed.
+    Codegen(CodegenError),
+    /// The gate callback reported a violation.
+    Gate(E),
+}
+
+impl<E> From<CodegenError> for GatedError<E> {
+    fn from(e: CodegenError) -> GatedError<E> {
+        GatedError::Codegen(e)
+    }
+}
+
+/// Compile `module` for `machine`, calling `gate` after every pipeline
+/// stage of every function. The gate sees the IR before selection, the
+/// virtual code after register allocation, and the assembly stream after
+/// emission; returning `Err` aborts compilation with
+/// [`GatedError::Gate`]. [`compile_module`] is this function with a
+/// no-op gate; the `br-verify` crate supplies checking gates.
+pub fn compile_module_with<E, G>(
+    module: &Module,
+    machine: Machine,
+    base_opts: BaseOptions,
+    br_opts: BrOptions,
+    gate: &mut G,
+) -> Result<CompiledModule, GatedError<E>>
+where
+    G: FnMut(Stage<'_>) -> Result<(), E>,
+{
+    let target = TargetSpec::for_machine(machine);
+    let mut pool = isel::ConstPool::new();
+    let mut asm = AsmProgram::new(machine);
+    let mut stats = CodegenStats::default();
+
+    for func in &module.functions {
+        if func.blocks.is_empty() {
+            continue; // prototype without a body
+        }
+        gate(Stage::Ir { func }).map_err(GatedError::Gate)?;
+        let mut vf = isel::select(module, func, &target, &mut pool)?;
+        vf.max_out_args = baseline::compute_max_out_args(&vf, &target);
+
+        // Loop depths for spill costs (and, on the BR machine, hoisting).
+        let cfg = Cfg::new(func);
+        let dom = Dominators::new(&cfg);
+        let loops = LoopForest::new(&cfg, &dom);
+        let depth: Vec<u32> = (0..func.blocks.len())
+            .map(|i| loops.depth(br_ir::BlockId(i as u32)))
+            .collect();
+
+        let alloc = regalloc::allocate(&mut vf, &target, &depth)?;
+        gate(Stage::Regalloc {
+            func,
+            vcode: &vf,
+            alloc: &alloc,
+            target: &target,
+        })
+        .map_err(GatedError::Gate)?;
+
+        let (afunc, fstats, plan) = match machine {
+            Machine::Baseline => {
+                let (a, s) = baseline::emit_baseline(&vf, &target, &alloc, base_opts)?;
+                (a, s, None)
+            }
+            Machine::BranchReg => {
+                let (a, s, p) = brmach::emit_brmach(func, &mut vf, &target, &alloc, br_opts)?;
+                (a, s, Some(p))
+            }
+        };
+        gate(Stage::Emit {
+            func,
+            asm: &afunc,
+            machine,
+            hoist: plan.as_ref(),
+            br_opts,
+        })
+        .map_err(GatedError::Gate)?;
+        stats.accumulate(&fstats);
+        asm.funcs.push(afunc);
+    }
+
+    asm.data = data::lower_globals(module);
+    asm.data.extend(data::lower_pool(pool.into_items()));
+    Ok(CompiledModule { asm, stats })
 }
 
 /// Compile `module` for `machine`.
@@ -70,38 +196,13 @@ pub fn compile_module(
     base_opts: BaseOptions,
     br_opts: BrOptions,
 ) -> Result<CompiledModule, CodegenError> {
-    let target = TargetSpec::for_machine(machine);
-    let mut pool = isel::ConstPool::new();
-    let mut asm = AsmProgram::new(machine);
-    let mut stats = CodegenStats::default();
-
-    for func in &module.functions {
-        if func.blocks.is_empty() {
-            continue; // prototype without a body
-        }
-        let mut vf = isel::select(module, func, &target, &mut pool)?;
-        vf.max_out_args = baseline::compute_max_out_args(&vf, &target);
-
-        // Loop depths for spill costs (and, on the BR machine, hoisting).
-        let cfg = Cfg::new(func);
-        let dom = Dominators::new(&cfg);
-        let loops = LoopForest::new(&cfg, &dom);
-        let depth: Vec<u32> = (0..func.blocks.len())
-            .map(|i| loops.depth(br_ir::BlockId(i as u32)))
-            .collect();
-
-        let alloc = regalloc::allocate(&mut vf, &target, &depth)?;
-        let (afunc, fstats) = match machine {
-            Machine::Baseline => baseline::emit_baseline(&vf, &target, &alloc, base_opts)?,
-            Machine::BranchReg => brmach::emit_brmach(func, &mut vf, &target, &alloc, br_opts)?,
-        };
-        stats.accumulate(&fstats);
-        asm.funcs.push(afunc);
-    }
-
-    asm.data = data::lower_globals(module);
-    asm.data.extend(data::lower_pool(pool.into_items()));
-    Ok(CompiledModule { asm, stats })
+    let mut no_gate = |_: Stage<'_>| Ok::<(), std::convert::Infallible>(());
+    compile_module_with(module, machine, base_opts, br_opts, &mut no_gate).map_err(
+        |e| match e {
+            GatedError::Codegen(c) => c,
+            GatedError::Gate(never) => match never {},
+        },
+    )
 }
 
 #[cfg(test)]

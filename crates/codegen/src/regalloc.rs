@@ -438,16 +438,8 @@ fn substitute_def(inst: &mut VInst, from: VR, to: VR) {
         | VInst::FNeg { dst, .. }
         | VInst::FMov { dst, .. }
         | VInst::ItoF { dst, .. }
-        | VInst::FtoI { dst, .. } => {
-            if *dst == from {
-                *dst = to;
-            }
-        }
-        VInst::Call { dst, .. } => {
-            if *dst == Some(from) {
-                *dst = Some(to);
-            }
-        }
+        | VInst::FtoI { dst, .. } if *dst == from => *dst = to,
+        VInst::Call { dst, .. } if *dst == Some(from) => *dst = Some(to),
         _ => {}
     }
 }
@@ -465,16 +457,8 @@ fn substitute_term(term: &mut crate::vcode::VTerm, from: VR, to: VR) {
                 }
             }
         }
-        VTerm::Switch { idx, .. } => {
-            if *idx == from {
-                *idx = to;
-            }
-        }
-        VTerm::Ret(Some((VSrc::V(v), _))) => {
-            if *v == from {
-                *v = to;
-            }
-        }
+        VTerm::Switch { idx, .. } if *idx == from => *idx = to,
+        VTerm::Ret(Some((VSrc::V(v), _))) if *v == from => *v = to,
         _ => {}
     }
 }

@@ -26,6 +26,7 @@ pub use br_frontend::CompileError as FrontendError;
 pub use br_icache::{CacheConfig, CacheStats, ICacheSim};
 pub use br_isa::{Machine, Program};
 pub use br_pipeline as pipeline;
+pub use br_verify::VerifyError;
 pub use br_workloads::{by_name, suite, Scale, Workload};
 
 /// Any failure on the source → binary path. Every stage reports through
@@ -37,6 +38,9 @@ pub enum CompileError {
     Frontend(FrontendError),
     /// Code-generation error (isel, regalloc, emission).
     Codegen(CodegenError),
+    /// A stage-gate checker rejected the compiler's own output — always
+    /// an internal defect, never a user error.
+    Verify(VerifyError),
     /// Assembler error (encoding, relocation, layout).
     Asm(String),
 }
@@ -46,6 +50,7 @@ impl fmt::Display for CompileError {
         match self {
             CompileError::Frontend(e) => write!(f, "{e}"),
             CompileError::Codegen(e) => write!(f, "codegen: {e}"),
+            CompileError::Verify(e) => write!(f, "verify: {e}"),
             CompileError::Asm(e) => write!(f, "assembler: {e}"),
         }
     }
@@ -62,6 +67,21 @@ impl From<FrontendError> for CompileError {
 impl From<CodegenError> for CompileError {
     fn from(e: CodegenError) -> CompileError {
         CompileError::Codegen(e)
+    }
+}
+
+impl From<VerifyError> for CompileError {
+    fn from(e: VerifyError) -> CompileError {
+        CompileError::Verify(e)
+    }
+}
+
+impl From<br_verify::PipelineError> for CompileError {
+    fn from(e: br_verify::PipelineError) -> CompileError {
+        match e {
+            br_verify::PipelineError::Codegen(c) => CompileError::Codegen(c),
+            br_verify::PipelineError::Verify(v) => CompileError::Verify(v),
+        }
     }
 }
 
@@ -156,6 +176,10 @@ pub struct Experiment {
     pub br_opts: BrOptions,
     /// Emulation instruction budget per run.
     pub fuel: u64,
+    /// Run the `br-verify` stage gates (IR validator, regalloc replay,
+    /// branch-register protocol lint) after every compilation stage.
+    /// Defaults to on in debug builds, off in release builds.
+    pub verify: bool,
 }
 
 impl Default for Experiment {
@@ -164,6 +188,7 @@ impl Default for Experiment {
             base_opts: BaseOptions::default(),
             br_opts: BrOptions::default(),
             fuel: 4_000_000_000,
+            verify: cfg!(debug_assertions),
         }
     }
 }
@@ -181,7 +206,13 @@ impl Experiment {
     /// Front-end, code-generation, or assembler errors.
     pub fn compile(&self, src: &str, machine: Machine) -> Result<(Program, CodegenStats), Error> {
         let module = br_frontend::compile(src)?;
-        let out = br_codegen::compile_module(&module, machine, self.base_opts, self.br_opts)?;
+        let out = if self.verify {
+            br_verify::compile_module_verified(&module, machine, self.base_opts, self.br_opts)
+                .map_err(CompileError::from)?
+        } else {
+            br_codegen::compile_module(&module, machine, self.base_opts, self.br_opts)
+                .map_err(CompileError::from)?
+        };
         let prog = out
             .asm
             .assemble()
@@ -413,6 +444,20 @@ mod tests {
             .unwrap();
         assert_eq!(cache.fetches, run.meas.instructions);
         assert!(cache.hits + cache.misses + cache.prefetch_hits + cache.late_prefetch_hits > 0);
+    }
+
+    #[test]
+    fn verified_pipeline_accepts_the_suite() {
+        let exp = Experiment {
+            verify: true,
+            ..Experiment::new()
+        };
+        for w in suite(Scale::Test) {
+            for m in [Machine::Baseline, Machine::BranchReg] {
+                exp.compile(&w.source, m)
+                    .unwrap_or_else(|e| panic!("{} on {m:?}: {e}", w.name));
+            }
+        }
     }
 
     #[test]

@@ -154,7 +154,7 @@ impl AsmProgram {
         let mut data: Vec<u8> = Vec::new();
         for item in &self.data {
             let align = item.align.max(1) as u32;
-            while (abi::DATA_BASE + data.len() as u32) % align != 0 {
+            while !(abi::DATA_BASE + data.len() as u32).is_multiple_of(align) {
                 data.push(0);
             }
             symbols.insert(item.name.clone(), abi::DATA_BASE + data.len() as u32);

@@ -47,7 +47,7 @@ impl Program {
 
     /// The decoded text word at `addr`, if it is inside the text segment.
     pub fn fetch(&self, addr: u32) -> Option<&TextWord> {
-        if addr < abi::TEXT_BASE || addr % 4 != 0 {
+        if addr < abi::TEXT_BASE || !addr.is_multiple_of(4) {
             return None;
         }
         self.text.get(((addr - abi::TEXT_BASE) / 4) as usize)

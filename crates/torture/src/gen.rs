@@ -494,7 +494,7 @@ fn render_stmt(s: &Stmt, out: &mut String, level: usize) {
         }
         Stmt::Switch(e, cases) => {
             indent(out, level);
-            out.push_str(&format!("switch ((("));
+            out.push_str("switch (((");
             render_expr(e, out);
             out.push_str(&format!(") & {})) {{\n", cases.len() as i32 - 1));
             for (i, c) in cases.iter().enumerate() {

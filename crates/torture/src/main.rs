@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! br-torture --seed N --iters M [--fuel F]     differential fuzz run
+//! br-torture ... --verify                      also gate every stage with br-verify
 //! br-torture --demo-fault                      fault-injection demo
 //! br-torture --demo-miscompile                 wrong-code-catch demo
 //! ```
@@ -13,7 +14,7 @@
 use br_emu::{EmuError, Emulator, Fault};
 use br_isa::Machine;
 use br_torture::{
-    check_src, count_stmts, gen::GenConfig, generate, iter_seed, minimize, oracle, render,
+    check_src_with, count_stmts, gen::GenConfig, generate, iter_seed, minimize, oracle, render,
     DEFAULT_FUEL,
 };
 
@@ -21,6 +22,7 @@ struct Args {
     seed: u64,
     iters: u64,
     fuel: u64,
+    verify: bool,
     demo_fault: bool,
     demo_miscompile: bool,
 }
@@ -30,6 +32,7 @@ fn parse_args() -> Result<Args, String> {
         seed: 42,
         iters: 1000,
         fuel: DEFAULT_FUEL,
+        verify: false,
         demo_fault: false,
         demo_miscompile: false,
     };
@@ -48,11 +51,12 @@ fn parse_args() -> Result<Args, String> {
             "--seed" => args.seed = num("--seed")?,
             "--iters" => args.iters = num("--iters")?,
             "--fuel" => args.fuel = num("--fuel")?,
+            "--verify" => args.verify = true,
             "--demo-fault" => args.demo_fault = true,
             "--demo-miscompile" => args.demo_miscompile = true,
             "--help" | "-h" => {
                 return Err("usage: br-torture [--seed N] [--iters M] [--fuel F] \
-                            [--demo-fault] [--demo-miscompile]"
+                            [--verify] [--demo-fault] [--demo-miscompile]"
                     .into())
             }
             other => return Err(format!("unknown argument `{other}` (try --help)")),
@@ -90,7 +94,7 @@ fn fuzz(args: &Args) -> i32 {
         let s = iter_seed(args.seed, i);
         let ast = generate(s, cfg);
         let src = render(&ast);
-        match check_src(&src, args.fuel) {
+        match check_src_with(&src, args.fuel, args.verify) {
             Ok(a) => {
                 base_insts += a.base_instructions;
                 br_insts += a.br_instructions;
@@ -110,10 +114,10 @@ fn fuzz(args: &Args) -> i32 {
                 println!("iteration {i} (seed {s:#x}) DIVERGED: {d}");
                 println!("minimizing ({} statements)...", count_stmts(&ast));
                 let min = minimize(&ast, |cand| {
-                    check_src(&render(cand), args.fuel).is_err()
+                    check_src_with(&render(cand), args.fuel, args.verify).is_err()
                 });
                 let min_src = render(&min);
-                let final_d = check_src(&min_src, args.fuel)
+                let final_d = check_src_with(&min_src, args.fuel, args.verify)
                     .expect_err("minimizer preserves failure");
                 println!(
                     "minimized to {} statements; divergence: {final_d}",

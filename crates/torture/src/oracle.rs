@@ -17,6 +17,7 @@
 use br_emu::{EmuError, Emulator, TraceHook};
 use br_ir::{InterpError, Interpreter, Module};
 use br_isa::{abi, Machine, Program};
+use br_verify::{PipelineError, VerifyError};
 
 /// Default fuel for each execution (dynamic instructions / IR steps).
 /// Generated programs finish in well under a million steps; anything that
@@ -46,6 +47,9 @@ pub enum Divergence {
     Frontend(String),
     /// Code generation failed on one machine.
     Codegen { machine: Machine, err: String },
+    /// A `br-verify` stage gate rejected the compiler's intermediate
+    /// output on one machine (only produced in `--verify` mode).
+    Verify { machine: Machine, err: VerifyError },
     /// The assembler rejected the generated assembly.
     Asm { machine: Machine, err: String },
     /// The IR interpreter faulted (including running out of fuel).
@@ -78,6 +82,9 @@ impl std::fmt::Display for Divergence {
             Divergence::Frontend(e) => write!(f, "frontend: {e}"),
             Divergence::Codegen { machine, err } => {
                 write!(f, "codegen ({machine:?}): {err}")
+            }
+            Divergence::Verify { machine, err } => {
+                write!(f, "verify ({machine:?}): {err}")
             }
             Divergence::Asm { machine, err } => write!(f, "assembler ({machine:?}): {err}"),
             Divergence::Interp(e) => write!(f, "interpreter: {e}"),
@@ -116,16 +123,42 @@ struct EmuRun {
 
 /// Compile `module` for `machine` all the way to an executable program.
 pub fn compile_for(module: &Module, machine: Machine) -> Result<Program, Divergence> {
-    let out = br_codegen::compile_module(
-        module,
-        machine,
-        Default::default(),
-        Default::default(),
-    )
-    .map_err(|e| Divergence::Codegen {
-        machine,
-        err: e.to_string(),
-    })?;
+    compile_for_with(module, machine, false)
+}
+
+/// Compile `module` for `machine`, optionally running the `br-verify`
+/// stage gates after every compilation stage.
+pub fn compile_for_with(
+    module: &Module,
+    machine: Machine,
+    verify: bool,
+) -> Result<Program, Divergence> {
+    let out = if verify {
+        br_verify::compile_module_verified(
+            module,
+            machine,
+            Default::default(),
+            Default::default(),
+        )
+        .map_err(|e| match e {
+            PipelineError::Verify(err) => Divergence::Verify { machine, err },
+            PipelineError::Codegen(c) => Divergence::Codegen {
+                machine,
+                err: c.to_string(),
+            },
+        })?
+    } else {
+        br_codegen::compile_module(
+            module,
+            machine,
+            Default::default(),
+            Default::default(),
+        )
+        .map_err(|e| Divergence::Codegen {
+            machine,
+            err: e.to_string(),
+        })?
+    };
     out.asm.assemble().map_err(|e| Divergence::Asm {
         machine,
         err: e.to_string(),
@@ -178,13 +211,27 @@ fn run_machine(module: &Module, prog: &Program, fuel: u64) -> Result<EmuRun, Div
 
 /// Run the full differential check on one MiniC source.
 pub fn check_src(src: &str, fuel: u64) -> Result<Agreement, Divergence> {
+    check_src_with(src, fuel, false)
+}
+
+/// [`check_src`], optionally with `br-verify` stage gates enabled.
+pub fn check_src_with(src: &str, fuel: u64, verify: bool) -> Result<Agreement, Divergence> {
     let module =
         br_frontend::compile(src).map_err(|e| Divergence::Frontend(e.to_string()))?;
-    check_module(&module, fuel)
+    check_module_with(&module, fuel, verify)
 }
 
 /// Run the full differential check on an already-lowered module.
 pub fn check_module(module: &Module, fuel: u64) -> Result<Agreement, Divergence> {
+    check_module_with(module, fuel, false)
+}
+
+/// [`check_module`], optionally with `br-verify` stage gates enabled.
+pub fn check_module_with(
+    module: &Module,
+    fuel: u64,
+    verify: bool,
+) -> Result<Agreement, Divergence> {
     // 1. Reference execution: the IR interpreter.
     let mut interp = Interpreter::new(module).with_fuel(fuel);
     let interp_exit = interp
@@ -193,8 +240,8 @@ pub fn check_module(module: &Module, fuel: u64) -> Result<Agreement, Divergence>
     let interp_steps = interp.steps();
 
     // 2. Both machines.
-    let base_prog = compile_for(module, Machine::Baseline)?;
-    let br_prog = compile_for(module, Machine::BranchReg)?;
+    let base_prog = compile_for_with(module, Machine::Baseline, verify)?;
+    let br_prog = compile_for_with(module, Machine::BranchReg, verify)?;
     let base = run_machine(module, &base_prog, fuel)?;
     let br = run_machine(module, &br_prog, fuel)?;
 

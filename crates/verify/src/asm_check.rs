@@ -1,0 +1,887 @@
+//! Checker 3: lint over emitted symbolic machine code.
+//!
+//! For both machines, every instruction must encode (register indices,
+//! immediate and displacement ranges, machine-exclusive variants). On
+//! the baseline, every delayed transfer must be followed by exactly one
+//! non-transfer instruction (the delay slot). On the branch-register
+//! machine, the checker runs a small abstract interpretation of the
+//! branch-register file over the instruction stream, mirroring the
+//! emulator's semantics:
+//!
+//! * the `br` field of a non-compare instruction reads the branch
+//!   register *before* the instruction executes;
+//! * a compare-with-assignment carrying its own `br` field (a fused
+//!   compare) re-reads it *after* writing `b[7]`;
+//! * after any transferring instruction the hardware writes the
+//!   sequential address into `b[7]` — this is the call/return linkage.
+//!
+//! Each branch register abstractly holds either "undefined" or the set
+//! of targets it may name (a local label, a specific instruction
+//! address, a function entry, or the caller's return address). Any
+//! transfer through an undefined register on some path is an error, as
+//! is a compare whose taken-target register is undefined. On top of the
+//! dataflow, the checker enforces compare/carrier pairing and — given
+//! the emitter's [`HoistPlan`] — that branch registers holding hoisted
+//! targets are not clobbered inside the loops they serve, including the
+//! callee-saved discipline across calls.
+
+use std::collections::{BTreeSet, HashMap};
+
+use br_codegen::hoist::HoistPlan;
+use br_codegen::BrOptions;
+use br_isa::{encode, AsmFunc, AsmItem, Label, MInst, Machine, Reloc, Src2, SymRef};
+
+use crate::VerifyError;
+
+/// Block labels are `Label(block id)`; emission-internal labels (jump
+/// tables, out-of-line sequences) start here. See `emit::fresh_label`.
+const FRESH_LABEL_BASE: u32 = 1_000_000;
+
+/// What a branch register may name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Tgt {
+    /// A function-local label.
+    Label(u32),
+    /// A specific item index in this function's stream.
+    Addr(usize),
+    /// Some other function's entry (transferring is a call).
+    Func,
+    /// The caller's return address (transferring is a return).
+    Ret,
+}
+
+/// Abstract value of one branch register.
+#[derive(Debug, Clone, PartialEq)]
+enum BVal {
+    /// Not written on some path.
+    Undef,
+    /// Definitely written; may name any of these targets.
+    Def(BTreeSet<Tgt>),
+}
+
+impl BVal {
+    fn one(t: Tgt) -> BVal {
+        BVal::Def(std::iter::once(t).collect())
+    }
+
+    fn merge_with(&mut self, o: &BVal) -> bool {
+        match (&mut *self, o) {
+            (BVal::Undef, _) => false,
+            (s @ BVal::Def(_), BVal::Undef) => {
+                *s = BVal::Undef;
+                true
+            }
+            (BVal::Def(a), BVal::Def(b)) => {
+                let before = a.len();
+                a.extend(b.iter().copied());
+                a.len() != before
+            }
+        }
+    }
+}
+
+/// The branch-register file at a program point.
+type BState = Vec<BVal>;
+
+/// The branch register an instruction writes, if any. Compares always
+/// write `b[7]`.
+fn breg_def(inst: &MInst) -> Option<u8> {
+    match inst {
+        MInst::Bcalc { bd, .. }
+        | MInst::BMovB { bd, .. }
+        | MInst::BMovR { bd, .. }
+        | MInst::BLoad { bd, .. } => Some(bd.0),
+        MInst::CmpBr { .. } | MInst::FCmpBr { .. } => Some(7),
+        _ => None,
+    }
+}
+
+/// Verify one emitted function. `hoist` is the emitter's plan on the
+/// branch-register machine (`None` on the baseline or when hoisting is
+/// disabled produces an empty default plan upstream).
+pub fn check_asm(
+    asm: &AsmFunc,
+    machine: Machine,
+    hoist: Option<&HoistPlan>,
+    opts: &BrOptions,
+) -> Result<(), VerifyError> {
+    check_encoding(asm, machine)?;
+    match machine {
+        Machine::Baseline => check_delay_slots(asm),
+        Machine::BranchReg => {
+            let lint = BrLint::new(asm, opts);
+            let states = lint.dataflow();
+            lint.check_uses(&states)?;
+            lint.check_pairing()?;
+            if let Some(plan) = hoist {
+                lint.check_hoist(plan, opts, &states)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Every instruction must encode for the target machine. Unpatched
+/// relocation fields hold zero, which always encodes; the assembler
+/// re-checks patched values at link time.
+fn check_encoding(asm: &AsmFunc, machine: Machine) -> Result<(), VerifyError> {
+    for (index, item) in asm.items.iter().enumerate() {
+        if let AsmItem::Inst(inst, _) = item {
+            if let Err(err) = encode(machine, *inst) {
+                return Err(VerifyError::Encoding {
+                    func: asm.name.clone(),
+                    index,
+                    err,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Baseline delay-slot discipline: every delayed transfer is followed by
+/// exactly one instruction that is neither a transfer nor a join point.
+fn check_delay_slots(asm: &AsmFunc) -> Result<(), VerifyError> {
+    for (index, item) in asm.items.iter().enumerate() {
+        let AsmItem::Inst(inst, _) = item else {
+            continue;
+        };
+        if !inst.is_baseline_transfer() {
+            continue;
+        }
+        let err = |detail: String| VerifyError::DelaySlot {
+            func: asm.name.clone(),
+            index,
+            detail,
+        };
+        match asm.items.get(index + 1) {
+            Some(AsmItem::Inst(slot, _)) => {
+                if slot.is_baseline_transfer() {
+                    return Err(err(format!("transfer `{slot}` in the delay slot")));
+                }
+            }
+            Some(AsmItem::Label(l)) => {
+                return Err(err(format!("label {l} in the delay slot")));
+            }
+            Some(AsmItem::Word(..)) => {
+                return Err(err("data word in the delay slot".into()));
+            }
+            None => return Err(err("transfer at the end of the stream".into())),
+        }
+    }
+    Ok(())
+}
+
+/// The branch-register protocol analysis for one function.
+struct BrLint<'a> {
+    asm: &'a AsmFunc,
+    /// Label id → item index of the label.
+    label_at: HashMap<u32, usize>,
+    /// Labels named by any jump-table word in the function: the fallback
+    /// result set of an indexed `bload` whose table is not identified.
+    table_targets: BTreeSet<Tgt>,
+    /// Per-`bload` result sets, resolved to the specific jump table the
+    /// load indexes (identified by the `%lo(table)` reloc that
+    /// materialized its base address). Without this, a function with two
+    /// switches would let each dispatch "jump" into the other's targets.
+    bload_table: HashMap<usize, BTreeSet<Tgt>>,
+    /// Caller-saved branch registers (clobbered across calls).
+    caller_pool: Vec<u8>,
+}
+
+impl<'a> BrLint<'a> {
+    fn new(asm: &'a AsmFunc, opts: &BrOptions) -> BrLint<'a> {
+        let mut label_at = HashMap::new();
+        let mut table_targets = BTreeSet::new();
+        let mut tables: HashMap<u32, BTreeSet<Tgt>> = HashMap::new();
+        let mut cur_table: Option<u32> = None;
+        for (i, item) in asm.items.iter().enumerate() {
+            match item {
+                AsmItem::Label(Label(l)) => {
+                    label_at.insert(*l, i);
+                    cur_table = Some(*l);
+                }
+                AsmItem::Word(_, Some(Reloc::Abs(SymRef::Label(Label(l))))) => {
+                    table_targets.insert(Tgt::Label(*l));
+                    if let Some(t) = cur_table {
+                        tables.entry(t).or_default().insert(Tgt::Label(*l));
+                    }
+                }
+                _ => cur_table = None,
+            }
+        }
+        let mut bload_table = HashMap::new();
+        for (i, item) in asm.items.iter().enumerate() {
+            if let AsmItem::Inst(
+                MInst::BLoad {
+                    src2: Src2::Reg(_), ..
+                },
+                _,
+            ) = item
+            {
+                // The dispatch sequence (sethi/orlo/bload) is contiguous
+                // within a block, so the nearest preceding `%lo(label)`
+                // reloc names this load's table.
+                for j in (0..i).rev() {
+                    match &asm.items[j] {
+                        AsmItem::Label(_) | AsmItem::Word(..) => break,
+                        AsmItem::Inst(_, Some(Reloc::Lo(SymRef::Label(Label(l))))) => {
+                            if let Some(ts) = tables.get(l) {
+                                bload_table.insert(i, ts.clone());
+                            }
+                            break;
+                        }
+                        AsmItem::Inst(..) => {}
+                    }
+                }
+            }
+        }
+        BrLint {
+            asm,
+            label_at,
+            table_targets,
+            bload_table,
+            caller_pool: opts.pools().1,
+        }
+    }
+
+    /// Index of the next address-occupying item after `i` (labels take
+    /// no space, so `pc + 4` skips them).
+    fn next_addr(&self, i: usize) -> Option<usize> {
+        self.asm.items[i + 1..]
+            .iter()
+            .position(|it| !matches!(it, AsmItem::Label(_)))
+            .map(|off| i + 1 + off)
+    }
+
+    /// Successor item indices and their branch-register states after
+    /// item `i` executes with in-state `s`.
+    fn step(&self, i: usize, s: &BState) -> Vec<(usize, BState)> {
+        match &self.asm.items[i] {
+            AsmItem::Label(_) => {
+                if i + 1 < self.asm.items.len() {
+                    vec![(i + 1, s.clone())]
+                } else {
+                    vec![]
+                }
+            }
+            // Data words are never executed; the stream ahead of them
+            // always transfers away.
+            AsmItem::Word(..) => vec![],
+            AsmItem::Inst(inst, reloc) => self.step_inst(i, *inst, reloc.as_ref(), s),
+        }
+    }
+
+    fn step_inst(
+        &self,
+        i: usize,
+        inst: MInst,
+        reloc: Option<&Reloc>,
+        s: &BState,
+    ) -> Vec<(usize, BState)> {
+        let k = inst.br() as usize;
+        // Definitions. The emulator reads a non-compare's `br` register
+        // before execution, so the jump value for those is taken from
+        // the *incoming* state below.
+        let mut s2 = s.clone();
+        match inst {
+            MInst::Bcalc { bd, .. } => {
+                s2[bd.0 as usize] = match reloc {
+                    Some(Reloc::Disp(SymRef::Label(Label(l)))) => BVal::one(Tgt::Label(*l)),
+                    _ => BVal::Def(BTreeSet::new()),
+                };
+            }
+            MInst::BMovR { bd, .. } => {
+                s2[bd.0 as usize] = match reloc {
+                    Some(Reloc::Lo(SymRef::Func(_))) => BVal::one(Tgt::Func),
+                    _ => BVal::Def(BTreeSet::new()),
+                };
+            }
+            MInst::BMovB { bd, bs, .. } => {
+                s2[bd.0 as usize] = if bs.0 == 0 {
+                    // b[0] is the PC: reading it yields the sequential
+                    // address.
+                    match self.next_addr(i) {
+                        Some(n) => BVal::one(Tgt::Addr(n)),
+                        None => BVal::Def(BTreeSet::new()),
+                    }
+                } else {
+                    s[bs.0 as usize].clone()
+                };
+            }
+            MInst::BLoad { bd, src2, .. } => {
+                s2[bd.0 as usize] = match src2 {
+                    // Fixed-offset loads restore a saved register from
+                    // the frame: the return address or a caller's
+                    // callee-saved value, both opaque here.
+                    Src2::Imm(_) => BVal::one(Tgt::Ret),
+                    // Indexed loads read a word of this load's jump
+                    // table (all of the function's tables when the
+                    // table could not be identified).
+                    Src2::Reg(_) => BVal::Def(
+                        self.bload_table
+                            .get(&i)
+                            .unwrap_or(&self.table_targets)
+                            .clone(),
+                    ),
+                };
+            }
+            MInst::CmpBr { bt, .. } | MInst::FCmpBr { bt, .. } => {
+                // Taken: b[7] = b[bt]. Not taken: b[7] = the address
+                // past the compare (fused) or past its carrier.
+                let mut set = match &s[bt.0 as usize] {
+                    BVal::Def(ts) => ts.clone(),
+                    BVal::Undef => BTreeSet::new(), // reported by check_uses
+                };
+                let not_taken = if k != 0 {
+                    self.next_addr(i)
+                } else {
+                    self.next_addr(i).and_then(|n| self.next_addr(n))
+                };
+                if let Some(n) = not_taken {
+                    set.insert(Tgt::Addr(n));
+                }
+                s2[7] = BVal::Def(set);
+            }
+            _ => {}
+        }
+
+        if k == 0 {
+            if matches!(inst, MInst::Halt) {
+                return vec![];
+            }
+            return if i + 1 < self.asm.items.len() {
+                vec![(i + 1, s2)]
+            } else {
+                vec![]
+            };
+        }
+
+        // Transferring instruction. A fused compare re-reads its own
+        // result; everything else latched the pre-execution value.
+        let fused = matches!(inst, MInst::CmpBr { .. } | MInst::FCmpBr { .. });
+        let jump = if fused { s2[k].clone() } else { s[k].clone() };
+        // The hardware then writes the sequential address into b[7]
+        // (the linkage that makes calls return).
+        let mut s3 = s2;
+        s3[7] = match self.next_addr(i) {
+            Some(n) => BVal::one(Tgt::Addr(n)),
+            None => BVal::Def(BTreeSet::new()),
+        };
+
+        let mut succ = Vec::new();
+        if let BVal::Def(targets) = jump {
+            for t in targets {
+                match t {
+                    Tgt::Label(l) => {
+                        if let Some(&j) = self.label_at.get(&l) {
+                            succ.push((j, s3.clone()));
+                        }
+                    }
+                    Tgt::Addr(j) => succ.push((j, s3.clone())),
+                    Tgt::Func => {
+                        // A call: control returns to the sequential
+                        // address with every caller-saved branch
+                        // register — and b[7] itself — clobbered by the
+                        // callee. Callee-saved registers survive; their
+                        // preservation is the callee's own saved/
+                        // restored discipline, checked per function.
+                        if let Some(ret) = self.next_addr(i) {
+                            let mut cs = s3.clone();
+                            for &r in &self.caller_pool {
+                                cs[r as usize] = BVal::Undef;
+                            }
+                            cs[7] = BVal::Undef;
+                            succ.push((ret, cs));
+                        }
+                    }
+                    Tgt::Ret => {} // leaves the function
+                }
+            }
+        }
+        succ
+    }
+
+    /// Run the abstract interpretation to a fixed point; returns the
+    /// converged in-state per item (`None` = unreachable).
+    fn dataflow(&self) -> Vec<Option<BState>> {
+        let n = self.asm.items.len();
+        let mut states: Vec<Option<BState>> = vec![None; n];
+        if n == 0 {
+            return states;
+        }
+        let mut entry: BState = vec![BVal::Undef; 8];
+        entry[0] = BVal::Def(BTreeSet::new());
+        entry[7] = BVal::one(Tgt::Ret);
+        states[0] = Some(entry);
+        let mut work = vec![0usize];
+        while let Some(i) = work.pop() {
+            let Some(s) = states[i].clone() else { continue };
+            for (j, t) in self.step(i, &s) {
+                if j >= n {
+                    continue;
+                }
+                match &mut states[j] {
+                    None => {
+                        states[j] = Some(t);
+                        work.push(j);
+                    }
+                    Some(old) => {
+                        let mut changed = false;
+                        for (a, b) in old.iter_mut().zip(&t) {
+                            changed |= a.merge_with(b);
+                        }
+                        if changed {
+                            work.push(j);
+                        }
+                    }
+                }
+            }
+        }
+        states
+    }
+
+    /// With converged states, flag every read of an undefined branch
+    /// register: transfers through `br`, compare taken-targets, and
+    /// register-to-register moves. `bstore` is exempt — prologues save
+    /// caller-saved registers whose incoming value is legitimately
+    /// meaningless.
+    fn check_uses(&self, states: &[Option<BState>]) -> Result<(), VerifyError> {
+        for (index, item) in self.asm.items.iter().enumerate() {
+            let AsmItem::Inst(inst, _) = item else {
+                continue;
+            };
+            let Some(s) = &states[index] else {
+                continue; // unreachable code is vacuously fine
+            };
+            let unset = |breg: u8| VerifyError::UnsetBranchReg {
+                func: self.asm.name.clone(),
+                index,
+                breg,
+            };
+            let k = inst.br();
+            let fused = matches!(inst, MInst::CmpBr { .. } | MInst::FCmpBr { .. });
+            if k != 0 && !fused && matches!(s[k as usize], BVal::Undef) {
+                return Err(unset(k));
+            }
+            match inst {
+                MInst::CmpBr { bt, .. } | MInst::FCmpBr { bt, .. }
+                    if bt.0 != 0 && matches!(s[bt.0 as usize], BVal::Undef) =>
+                {
+                    return Err(unset(bt.0));
+                }
+                MInst::BMovB { bs, .. }
+                    if bs.0 != 0 && matches!(s[bs.0 as usize], BVal::Undef) =>
+                {
+                    return Err(unset(bs.0));
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// A compare with `br == 0` computes a conditional target into
+    /// `b[7]` for the *next* instruction to consume: that carrier must
+    /// exist, transfer through `b[7]`, not redefine `b[7]`, and not be
+    /// another compare (which would overwrite the pending result).
+    fn check_pairing(&self) -> Result<(), VerifyError> {
+        for (index, item) in self.asm.items.iter().enumerate() {
+            let AsmItem::Inst(inst, _) = item else {
+                continue;
+            };
+            if !matches!(inst, MInst::CmpBr { .. } | MInst::FCmpBr { .. }) || inst.br() != 0 {
+                continue;
+            }
+            let err = |detail: String| VerifyError::CarrierPairing {
+                func: self.asm.name.clone(),
+                index,
+                detail,
+            };
+            match self.asm.items.get(index + 1) {
+                Some(AsmItem::Inst(carrier, _)) => {
+                    if matches!(carrier, MInst::CmpBr { .. } | MInst::FCmpBr { .. }) {
+                        return Err(err(format!(
+                            "carrier `{carrier}` is itself a compare"
+                        )));
+                    }
+                    if carrier.br() != 7 {
+                        return Err(err(format!(
+                            "next instruction `{carrier}` does not transfer through b[7]"
+                        )));
+                    }
+                    if breg_def(carrier) == Some(7) {
+                        return Err(err(format!(
+                            "carrier `{carrier}` redefines b[7]"
+                        )));
+                    }
+                }
+                Some(AsmItem::Label(l)) => {
+                    return Err(err(format!("label {l} between compare and carrier")));
+                }
+                Some(AsmItem::Word(..)) => {
+                    return Err(err("data word between compare and carrier".into()));
+                }
+                None => return Err(err("compare at the end of the stream".into())),
+            }
+        }
+        Ok(())
+    }
+
+    /// Hoist discipline: inside every block where the plan reserves a
+    /// branch register for a hoisted target, nothing may redefine that
+    /// register (except the hoisted calculation in its own preheader),
+    /// and calls may only appear if the register is callee-saved.
+    fn check_hoist(
+        &self,
+        plan: &HoistPlan,
+        opts: &BrOptions,
+        states: &[Option<BState>],
+    ) -> Result<(), VerifyError> {
+        let (_, caller_pool) = opts.pools();
+        let mut cur_block: Option<u32> = None;
+        for (index, item) in self.asm.items.iter().enumerate() {
+            let inst = match item {
+                AsmItem::Label(Label(l)) if *l < FRESH_LABEL_BASE => {
+                    cur_block = Some(*l);
+                    continue;
+                }
+                AsmItem::Inst(inst, _) => inst,
+                _ => continue,
+            };
+            let Some(b) = cur_block else { continue };
+            let Some(reserved) = plan.reserved_in.get(&b) else {
+                continue;
+            };
+            let clobbered = |breg: u8| VerifyError::HoistClobbered {
+                func: self.asm.name.clone(),
+                index,
+                breg,
+            };
+            if let Some(d) = breg_def(inst) {
+                let is_hoisted_calc = plan
+                    .preheader
+                    .get(&b)
+                    .is_some_and(|hs| hs.iter().any(|h| h.breg == d));
+                if reserved.contains(&d) && !is_hoisted_calc {
+                    return Err(clobbered(d));
+                }
+            }
+            // A call inside the protected region destroys every
+            // caller-saved branch register.
+            let k = inst.br();
+            if k != 0 {
+                if let Some(Some(s)) = states.get(index) {
+                    let is_call = match &s[k as usize] {
+                        BVal::Def(ts) => ts.contains(&Tgt::Func),
+                        BVal::Undef => false,
+                    };
+                    if is_call {
+                        // In a preheader the calls precede the hoisted
+                        // calculations (which sit at the block's end),
+                        // so registers this block itself computes are
+                        // not yet live across the call.
+                        let computed_here = plan.preheader.get(&b);
+                        let live_reserved = reserved.iter().find(|&&r| {
+                            caller_pool.contains(&r)
+                                && !computed_here
+                                    .is_some_and(|hs| hs.iter().any(|h| h.breg == r))
+                        });
+                        if let Some(&r) = live_reserved {
+                            return Err(clobbered(r));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use br_isa::{AluOp, BReg, Cc, Reg};
+
+    fn func(items: Vec<AsmItem>) -> AsmFunc {
+        AsmFunc {
+            name: "t".into(),
+            items,
+        }
+    }
+
+    fn inst(i: MInst) -> AsmItem {
+        AsmItem::Inst(i, None)
+    }
+
+    #[test]
+    fn transfer_through_undefined_breg_is_rejected() {
+        let f = func(vec![inst(MInst::Nop { br: 1 })]);
+        assert_eq!(
+            check_asm(&f, Machine::BranchReg, None, &BrOptions::default()),
+            Err(VerifyError::UnsetBranchReg {
+                func: "t".into(),
+                index: 0,
+                breg: 1,
+            })
+        );
+    }
+
+    #[test]
+    fn bcalc_then_transfer_is_clean() {
+        let f = func(vec![
+            AsmItem::Inst(
+                MInst::Bcalc {
+                    bd: BReg(1),
+                    disp: 0,
+                    br: 0,
+                },
+                Some(Reloc::Disp(SymRef::Label(Label(9)))),
+            ),
+            inst(MInst::Nop { br: 1 }),
+            AsmItem::Label(Label(9)),
+            inst(MInst::Halt),
+        ]);
+        assert_eq!(
+            check_asm(&f, Machine::BranchReg, None, &BrOptions::default()),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn return_through_b7_is_clean() {
+        // b[7] holds the caller's return address on entry.
+        let f = func(vec![inst(MInst::Nop { br: 7 })]);
+        assert_eq!(
+            check_asm(&f, Machine::BranchReg, None, &BrOptions::default()),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn immediate_out_of_range_is_an_encoding_error() {
+        // 100000 does not fit the BR machine's 11-bit immediate.
+        let f = func(vec![inst(MInst::Alu {
+            op: AluOp::Add,
+            rd: Reg(1),
+            rs1: Reg(1),
+            src2: Src2::Imm(100_000),
+            br: 0,
+        })]);
+        assert_eq!(
+            check_asm(&f, Machine::BranchReg, None, &BrOptions::default()),
+            Err(VerifyError::Encoding {
+                func: "t".into(),
+                index: 0,
+                err: br_isa::EncodeError::ImmOutOfRange,
+            })
+        );
+    }
+
+    #[test]
+    fn compare_without_carrier_is_rejected() {
+        let f = func(vec![
+            inst(MInst::CmpBr {
+                cc: Cc::Eq,
+                bt: BReg(7),
+                rs1: Reg(1),
+                src2: Src2::Imm(0),
+                br: 0,
+            }),
+            inst(MInst::Nop { br: 0 }), // does not consume b[7]
+            inst(MInst::Halt),
+        ]);
+        // bt = b7 is defined (return address), so the pairing check is
+        // what fires.
+        assert!(matches!(
+            check_asm(&f, Machine::BranchReg, None, &BrOptions::default()),
+            Err(VerifyError::CarrierPairing { .. })
+        ));
+    }
+
+    #[test]
+    fn compare_with_carrier_is_clean() {
+        // if (r1 == 0) goto L9 else fall through — paired form.
+        let f = func(vec![
+            AsmItem::Inst(
+                MInst::Bcalc {
+                    bd: BReg(1),
+                    disp: 0,
+                    br: 0,
+                },
+                Some(Reloc::Disp(SymRef::Label(Label(9)))),
+            ),
+            inst(MInst::CmpBr {
+                cc: Cc::Eq,
+                bt: BReg(1),
+                rs1: Reg(1),
+                src2: Src2::Imm(0),
+                br: 0,
+            }),
+            inst(MInst::Nop { br: 7 }),
+            inst(MInst::Halt),
+            AsmItem::Label(Label(9)),
+            inst(MInst::Halt),
+        ]);
+        assert_eq!(
+            check_asm(&f, Machine::BranchReg, None, &BrOptions::default()),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn undefined_on_one_path_is_rejected() {
+        // The taken path defines b[2]; the fall-through path does not.
+        // The join then transfers through b[2].
+        let f = func(vec![
+            AsmItem::Inst(
+                MInst::Bcalc {
+                    bd: BReg(1),
+                    disp: 0,
+                    br: 0,
+                },
+                Some(Reloc::Disp(SymRef::Label(Label(9)))),
+            ),
+            inst(MInst::CmpBr {
+                cc: Cc::Eq,
+                bt: BReg(1),
+                rs1: Reg(1),
+                src2: Src2::Imm(0),
+                br: 0,
+            }),
+            inst(MInst::Nop { br: 7 }),
+            // fall-through: jump to join without defining b[2]
+            AsmItem::Inst(
+                MInst::Bcalc {
+                    bd: BReg(3),
+                    disp: 0,
+                    br: 0,
+                },
+                Some(Reloc::Disp(SymRef::Label(Label(10)))),
+            ),
+            inst(MInst::Nop { br: 3 }),
+            // taken path: define b[2], then join
+            AsmItem::Label(Label(9)),
+            AsmItem::Inst(
+                MInst::Bcalc {
+                    bd: BReg(2),
+                    disp: 0,
+                    br: 0,
+                },
+                Some(Reloc::Disp(SymRef::Label(Label(10)))),
+            ),
+            AsmItem::Inst(
+                MInst::Bcalc {
+                    bd: BReg(3),
+                    disp: 0,
+                    br: 0,
+                },
+                Some(Reloc::Disp(SymRef::Label(Label(10)))),
+            ),
+            inst(MInst::Nop { br: 3 }),
+            AsmItem::Label(Label(10)),
+            inst(MInst::Nop { br: 2 }), // b[2] undefined on one path
+        ]);
+        assert_eq!(
+            check_asm(&f, Machine::BranchReg, None, &BrOptions::default()),
+            Err(VerifyError::UnsetBranchReg {
+                func: "t".into(),
+                index: 10,
+                breg: 2,
+            })
+        );
+    }
+
+    #[test]
+    fn baseline_delay_slot_violations_are_rejected() {
+        let branch = MInst::Ba { disp: 4 };
+        // Transfer in the delay slot.
+        let f = func(vec![inst(branch), inst(branch), inst(MInst::Halt)]);
+        assert!(matches!(
+            check_asm(&f, Machine::Baseline, None, &BrOptions::default()),
+            Err(VerifyError::DelaySlot { .. })
+        ));
+        // Label in the delay slot (a join point would execute it twice).
+        let f = func(vec![
+            inst(branch),
+            AsmItem::Label(Label(1)),
+            inst(MInst::Halt),
+        ]);
+        assert!(matches!(
+            check_asm(&f, Machine::Baseline, None, &BrOptions::default()),
+            Err(VerifyError::DelaySlot { .. })
+        ));
+        // Proper slot.
+        let f = func(vec![
+            inst(branch),
+            inst(MInst::Nop { br: 0 }),
+            inst(MInst::Halt),
+        ]);
+        assert_eq!(
+            check_asm(&f, Machine::Baseline, None, &BrOptions::default()),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn wrong_machine_instruction_is_an_encoding_error() {
+        let f = func(vec![inst(MInst::Ba { disp: 4 }), inst(MInst::Nop { br: 0 })]);
+        assert!(matches!(
+            check_asm(&f, Machine::BranchReg, None, &BrOptions::default()),
+            Err(VerifyError::Encoding {
+                err: br_isa::EncodeError::WrongMachine,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn hoisted_register_clobber_is_rejected() {
+        use br_codegen::hoist::{Hoisted, HoistedWhat};
+        let mut plan = HoistPlan::default();
+        plan.reserved_in.insert(2, vec![1]);
+        plan.preheader.insert(
+            0,
+            vec![Hoisted {
+                breg: 1,
+                what: HoistedWhat::Block(2),
+            }],
+        );
+        // Block 2 (the loop body) redefines b[1], which the plan
+        // reserved for the loop's hoisted target.
+        let f = func(vec![
+            AsmItem::Label(Label(0)),
+            AsmItem::Inst(
+                MInst::Bcalc {
+                    bd: BReg(1),
+                    disp: 0,
+                    br: 0,
+                },
+                Some(Reloc::Disp(SymRef::Label(Label(2)))),
+            ),
+            AsmItem::Label(Label(2)),
+            AsmItem::Inst(
+                MInst::Bcalc {
+                    bd: BReg(1),
+                    disp: 0,
+                    br: 0,
+                },
+                Some(Reloc::Disp(SymRef::Label(Label(2)))),
+            ),
+            inst(MInst::Halt),
+        ]);
+        assert_eq!(
+            check_asm(
+                &f,
+                Machine::BranchReg,
+                Some(&plan),
+                &BrOptions::default()
+            ),
+            Err(VerifyError::HoistClobbered {
+                func: "t".into(),
+                index: 3,
+                breg: 1,
+            })
+        );
+    }
+}

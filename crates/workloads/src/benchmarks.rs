@@ -167,7 +167,7 @@ int main() {{
 fn nested_init(vals: &[i32], n: usize) -> String {
     let rows: Vec<String> = vals
         .chunks(n)
-        .map(|row| int_list(row))
+        .map(int_list)
         .collect();
     format!("{{{}}}", rows.join(", "))
 }

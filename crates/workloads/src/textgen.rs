@@ -6,7 +6,7 @@
 use crate::rng::Rng64;
 
 /// The suite-wide seed.
-pub const SEED: u64 = 0x1990_05_28; // ISCA 1990
+pub const SEED: u64 = 0x1990_0528; // ISCA 1990
 
 /// Deterministic RNG for a given sub-stream.
 pub fn rng(stream: u64) -> Rng64 {

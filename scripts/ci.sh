@@ -1,9 +1,11 @@
 #!/usr/bin/env sh
 # CI entry point: tier-1 verification plus a fixed-seed torture smoke
 # run. Everything is offline and deterministic; a clean exit means the
-# build, the full test suite, and a 200-iteration differential fuzz run
-# (interpreter vs baseline machine vs branch-register machine) all
-# passed. See TORTURE.md for what the torture harness checks.
+# build, the lint gate, the full test suite, and a 200-iteration
+# differential fuzz run (interpreter vs baseline machine vs
+# branch-register machine, with the br-verify stage gates enabled) all
+# passed. See TORTURE.md for what the torture harness checks and
+# VERIFY.md for the per-stage static invariants.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -11,14 +13,17 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build --release"
 cargo build --release
 
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
 echo "==> cargo test -q (tier-1)"
 cargo test -q
 
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
-echo "==> torture smoke run (seed 42, 200 iterations)"
-cargo run --release -p br-torture -- --seed 42 --iters 200
+echo "==> torture smoke run (seed 42, 200 iterations, verify gates on)"
+cargo run --release -p br-torture -- --seed 42 --iters 200 --verify
 
 echo "==> fault-injection demo (typed errors, no panics)"
 cargo run --release -p br-torture -- --demo-fault

@@ -12,6 +12,8 @@
 //!   --no-hoist            disable branch-target hoisting
 //!   --fused-compare       Section 9 fast-compare variant
 //!   --fuel N              instruction budget (default 4e9)
+//!   --verify/--no-verify  force the br-verify stage gates on/off
+//!                         (default: on in debug builds only)
 //! ```
 //!
 //! The input is a path to a MiniC source file, or the name of one of the
@@ -29,6 +31,7 @@ struct Args {
     stats: bool,
     opts: BrOptions,
     fuel: u64,
+    verify: Option<bool>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -40,6 +43,7 @@ fn parse_args() -> Result<Args, String> {
         stats: false,
         opts: BrOptions::default(),
         fuel: 4_000_000_000,
+        verify: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -61,6 +65,8 @@ fn parse_args() -> Result<Args, String> {
                     .ok_or("bad --bregs")?;
             }
             "--no-hoist" => args.opts.hoisting = false,
+            "--verify" => args.verify = Some(true),
+            "--no-verify" => args.verify = Some(false),
             "--fused-compare" => args.opts.fused_compare = true,
             "--fuel" => {
                 args.fuel = it
@@ -104,19 +110,21 @@ fn print_meas(label: &str, m: &br_core::Measurements) {
 }
 
 fn real_main() -> Result<(), String> {
-    let args = parse_args().map_err(|e| {
+    let args = parse_args().inspect_err(|e| {
         if e.is_empty() {
             usage();
             std::process::exit(0);
         }
-        e
     })?;
     let src = load_source(args.input.as_deref().unwrap())?;
-    let exp = Experiment {
+    let mut exp = Experiment {
         br_opts: args.opts,
         fuel: args.fuel,
         ..Experiment::new()
     };
+    if let Some(v) = args.verify {
+        exp.verify = v;
+    }
 
     if let Some(kind) = &args.emit {
         match kind.as_str() {
@@ -165,7 +173,8 @@ fn real_main() -> Result<(), String> {
 fn usage() {
     eprintln!(
         "usage: brcc [--machine base|br] [--emit asm|ir] [--compare] [--stats]\n\
-         \t[--bregs N] [--no-hoist] [--fused-compare] [--fuel N] <file.mc | workload>"
+         \t[--bregs N] [--no-hoist] [--fused-compare] [--fuel N]\n\
+         \t[--verify|--no-verify] <file.mc | workload>"
     );
 }
 

@@ -1,0 +1,43 @@
+// Two switch jump tables in one function, with a counted loop between
+// them whose exit/back-edge targets are hoisted into branch registers.
+// Minimized (from torture seed 0x28efe333b266f103) shape that forced the
+// br-verify protocol lint to attribute each indexed bload to its own
+// table: with the tables conflated, the outer dispatch appears able to
+// jump straight into the inner loop, bypassing the preheader that
+// defines the hoisted branch registers.
+int g0;
+
+int f(int p) {
+    int acc = 0;
+    switch (p & 3) {
+        case 0:
+            acc = 1;
+            break;
+        case 1:
+            acc = 2;
+            break;
+        case 2:
+            for (int i = 0; i < 9; i++) {
+                switch (i & 4) {
+                    case 0:
+                        acc = acc + 2;
+                        break;
+                    case 4:
+                        acc = acc + 3;
+                        break;
+                }
+            }
+            break;
+        case 3:
+            acc = 5;
+            break;
+    }
+    return acc;
+}
+
+int main() {
+    int t = 0;
+    for (int p = 0; p < 4; p++) t = t + f(p);
+    g0 = t;
+    return t & 255;
+}

@@ -1,0 +1,19 @@
+// Calls inside a loop preheader that also computes hoisted branch-
+// register targets (the shape of the `compact` workload's main). The
+// calls execute before the hoisted bcalcs at the end of the preheader,
+// so caller-saved branch registers are legitimately used for the
+// call-free loop that follows — a clobber check that treats the whole
+// preheader as "inside the loop" would reject this valid code.
+int g0;
+int bump(int x) { g0 = g0 + x; return g0; }
+int dip(int x) { g0 = g0 - x; return g0; }
+
+int main() {
+    int a = bump(7);
+    int b = dip(2);
+    int s = 0;
+    for (int i = 0; i < 10; i++) {
+        if (i & 1) { s = s + a; } else { s = s + b; }
+    }
+    return (s + g0) & 255;
+}

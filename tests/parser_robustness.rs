@@ -8,7 +8,7 @@ use br_workloads::rng::Rng64;
 
 #[test]
 fn lexer_and_parser_never_panic_on_ascii_soup() {
-    let mut r = Rng64::seed_from_u64(0x50_FF_A5C1);
+    let mut r = Rng64::seed_from_u64(0x50FF_A5C1);
     for _ in 0..256 {
         let len = r.random_range(0usize..201);
         let s: String = (0..len)
@@ -28,7 +28,7 @@ fn mutated_valid_programs_do_not_panic() {
     let base = "int g = 3;\n\
                 int f(int a, int b) { if (a > b) return a - b; return b; }\n\
                 int main() { int s = 0; for (int i = 0; i < 9; i++) s += f(i, g); return s; }";
-    let mut r = Rng64::seed_from_u64(0x3D_17_A5C1);
+    let mut r = Rng64::seed_from_u64(0x3D17_A5C1);
     for _ in 0..256 {
         // Only mutate at a character boundary (source is ASCII).
         let at = r.random_range(0usize..400).min(base.len());

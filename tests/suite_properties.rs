@@ -1,7 +1,7 @@
 //! Whole-suite integration properties: the paper's headline effects must
 //! hold over the Appendix I programs at test scale.
 
-use br_core::{pipeline, suite, BrOptions, Experiment, Machine, Scale};
+use br_core::{pipeline, suite, BrOptions, Experiment, Scale};
 
 #[test]
 fn table1_shape_holds_over_the_suite() {

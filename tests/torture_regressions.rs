@@ -7,7 +7,9 @@
 //! generator seeds replay as well, so the generated dialect itself is
 //! covered deterministically.
 
-use br_torture::{check_src, generate, iter_seed, render, GenConfig, DEFAULT_FUEL};
+use br_torture::{
+    check_src, check_src_with, generate, iter_seed, render, GenConfig, DEFAULT_FUEL,
+};
 
 #[test]
 fn corpus_replays_clean() {
@@ -24,7 +26,9 @@ fn corpus_replays_clean() {
     );
     for path in entries {
         let src = std::fs::read_to_string(&path).expect("corpus file reads");
-        if let Err(d) = check_src(&src, DEFAULT_FUEL) {
+        // Replay with the br-verify stage gates on, so every corpus
+        // program also exercises the static checkers.
+        if let Err(d) = check_src_with(&src, DEFAULT_FUEL, true) {
             panic!("{} diverged: {d}", path.display());
         }
     }
@@ -38,6 +42,8 @@ fn corpus_exit_values_are_pinned() {
         ("switch_dense.c", 212),
         ("call_in_loop.c", 46),
         ("do_while_break.c", 56),
+        ("nested_switch_tables.c", 30),
+        ("preheader_calls_hoist.c", 65),
     ];
     for (file, want) in pinned {
         let path = format!(
