@@ -5,12 +5,12 @@
 //! Only **13.86%** of its transfers incur a pipeline delay (their target
 //! address was calculated fewer than two instructions earlier).
 
-use br_bench::{human, scale_from_args};
+use br_bench::{human, jobs_from_args, scale_from_args};
 use br_core::{pipeline, Experiment};
 
 fn main() {
     let scale = scale_from_args();
-    let report = Experiment::new().run_suite(scale).expect("suite");
+    let report = Experiment::new().run_suite_jobs(scale, jobs_from_args()).expect("suite");
     let (base, brm) = report.totals();
 
     println!("Section 7 cycle estimates ({scale:?} scale)");

@@ -2,13 +2,13 @@
 //! histogram of the dynamic distance between each branch-target address
 //! calculation and the transfer that consumes it.
 
-use br_bench::{human, scale_from_args};
+use br_bench::{human, jobs_from_args, scale_from_args};
 use br_core::Experiment;
 use br_emu::MAX_DIST_BUCKET;
 
 fn main() {
     let scale = scale_from_args();
-    let report = Experiment::new().run_suite(scale).expect("suite");
+    let report = Experiment::new().run_suite_jobs(scale, jobs_from_args()).expect("suite");
     let (_, brm) = report.totals();
 
     println!("Figure 9 — distance from address calculation to transfer ({scale:?} scale)");

@@ -1,0 +1,247 @@
+//! Experiment P — emulator throughput tracker.
+//!
+//! Times the emulation hot path over the 19-program Appendix I suite and
+//! writes `BENCH_emulator.json` at the repo root so every PR has a perf
+//! trajectory. Two loop variants are measured:
+//!
+//! - **fast**: `Emulator::run` — no hook, no faults armed. After the
+//!   fast-path rework this is the predecoded, monomorphized loop.
+//! - **compat**: a `&mut dyn ExecHook` plus a never-firing armed fault,
+//!   which forces the instrumented loop through virtual dispatch — the
+//!   shape of the seed interpreter, kept as the honest "before" loop.
+//!
+//! ```text
+//! perf [--paper] [--reps N] [--jobs N] [--record seed|current] [--out PATH]
+//! ```
+//!
+//! `--record seed` stamps the measurements into the `"seed"` section of
+//! the JSON (done once, on the pre-optimization tree); the default
+//! updates `"current"` and recomputes `"speedup_fast_vs_seed"`. Sections
+//! not being recorded are preserved from the existing file.
+
+use std::time::Instant;
+
+use br_bench::{human, jobs_from_args, scale_from_args};
+use br_core::{suite, Experiment, Machine, Program, Scale};
+use br_emu::{Emulator, ExecHook, Fault, NoHook};
+
+const FUEL: u64 = 4_000_000_000;
+
+struct Args {
+    scale: Scale,
+    reps: u32,
+    jobs: usize,
+    record: String,
+    out: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        scale: scale_from_args(),
+        reps: 5,
+        jobs: jobs_from_args(),
+        record: "current".to_string(),
+        out: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            // Shared flags, parsed by the br-bench helpers above.
+            "--paper" => {}
+            "--jobs" => {
+                it.next();
+            }
+            "--reps" => args.reps = it.next().and_then(|v| v.parse().ok()).unwrap_or(5),
+            "--record" => args.record = it.next().unwrap_or_else(|| "current".into()),
+            "--out" => args.out = it.next(),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+/// One timed pass over every compiled program: returns (instructions, seconds).
+fn pass(progs: &[Program], compat: bool) -> (u64, f64) {
+    let mut insts = 0u64;
+    let t = Instant::now();
+    for prog in progs {
+        let mut emu = Emulator::new(prog);
+        if compat {
+            // A fault armed at an unreachable step keeps the fault queue
+            // non-empty, which routes execution through the instrumented
+            // loop; dyn dispatch keeps the hook calls virtual.
+            emu.inject(Fault::CorruptReg {
+                at_step: u64::MAX,
+                reg: 1,
+                xor_mask: 0,
+            });
+            let hook: &mut dyn ExecHook = &mut NoHook;
+            emu.run_with_hook(FUEL, hook).expect("suite program runs");
+        } else {
+            emu.run(FUEL).expect("suite program runs");
+        }
+        insts += emu.measurements().instructions;
+    }
+    (insts, t.elapsed().as_secs_f64())
+}
+
+/// Best-of-`reps` instructions/second for one loop variant.
+fn best_ips(progs: &[Program], compat: bool, reps: u32) -> (u64, f64) {
+    let mut best = f64::MAX;
+    let mut insts = 0;
+    for _ in 0..reps {
+        let (n, secs) = pass(progs, compat);
+        insts = n;
+        best = best.min(secs);
+    }
+    (insts, insts as f64 / best)
+}
+
+/// Extract the balanced-brace JSON object following `"<key>":` (naive,
+/// but the file is machine-written so the shape is known).
+fn extract_object(json: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":");
+    let start = json.find(&pat)? + pat.len();
+    let rest = json[start..].trim_start();
+    if !rest.starts_with('{') {
+        return None;
+    }
+    let mut depth = 0usize;
+    for (i, c) in rest.char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(rest[..=i].to_string());
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Pull a bare number out of a section produced by [`section_json`].
+fn scan_number(obj: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let start = obj.find(&pat)? + pat.len();
+    let tail: String = obj[start..]
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    tail.parse().ok()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn section_json(
+    insts: u64,
+    fast_ips: f64,
+    compat_ips: f64,
+    wall_ms: f64,
+    jobs: usize,
+) -> String {
+    let now = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    format!(
+        "{{\n    \"unix_time\": {now},\n    \"total_suite_insts\": {insts},\n    \
+         \"fast_insts_per_sec\": {fast_ips:.0},\n    \"compat_insts_per_sec\": {compat_ips:.0},\n    \
+         \"suite_wall_ms\": {wall_ms:.1},\n    \"jobs\": {jobs}\n  }}"
+    )
+}
+
+fn main() {
+    let args = parse_args();
+    let exp = Experiment::new();
+
+    // Compile everything up front so the loop timings are emulation-only.
+    let mut progs = Vec::new();
+    for w in suite(args.scale) {
+        for m in [Machine::Baseline, Machine::BranchReg] {
+            let (p, _) = exp
+                .compile(&w.source, m)
+                .unwrap_or_else(|e| panic!("{} on {m:?}: {e}", w.name));
+            progs.push(p);
+        }
+    }
+
+    println!(
+        "emulator perf, {:?} scale, {} binaries, best of {} reps",
+        args.scale,
+        progs.len(),
+        args.reps
+    );
+    let (insts, fast_ips) = best_ips(&progs, false, args.reps);
+    println!(
+        "  fast loop   : {} insts at {} insts/sec",
+        human(insts),
+        human(fast_ips as u64)
+    );
+    let (_, compat_ips) = best_ips(&progs, true, args.reps);
+    println!(
+        "  compat loop : {} insts at {} insts/sec",
+        human(insts),
+        human(compat_ips as u64)
+    );
+
+    // End-to-end wall clock: compile + emulate both machines, full suite.
+    let t = Instant::now();
+    let report = exp
+        .run_suite_jobs(args.scale, args.jobs)
+        .expect("suite runs");
+    let wall_ms = t.elapsed().as_secs_f64() * 1000.0;
+    let jobs = args.jobs.max(1);
+    println!(
+        "  end-to-end  : {} programs in {wall_ms:.1} ms (jobs={jobs})",
+        report.rows.len()
+    );
+
+    let out_path = args.out.clone().unwrap_or_else(|| {
+        format!("{}/../../BENCH_emulator.json", env!("CARGO_MANIFEST_DIR"))
+    });
+    let existing = std::fs::read_to_string(&out_path).unwrap_or_default();
+    let this = section_json(insts, fast_ips, compat_ips, wall_ms, jobs);
+    let (seed, current) = if args.record == "seed" {
+        (Some(this), extract_object(&existing, "current"))
+    } else {
+        (extract_object(&existing, "seed"), Some(this))
+    };
+
+    let mut body = String::from("{\n  \"schema\": \"br-emulator-perf-v1\",\n");
+    body.push_str(&format!(
+        "  \"scale\": \"{:?}\",\n  \"suite_programs\": {},\n",
+        args.scale,
+        report.rows.len()
+    ));
+    if let Some(s) = &seed {
+        body.push_str(&format!("  \"seed\": {s},\n"));
+    }
+    if let Some(c) = &current {
+        body.push_str(&format!("  \"current\": {c},\n"));
+    }
+    if let (Some(s), Some(c)) = (&seed, &current) {
+        if let (Some(before), Some(after)) = (
+            scan_number(s, "fast_insts_per_sec"),
+            scan_number(c, "fast_insts_per_sec"),
+        ) {
+            if before > 0.0 {
+                body.push_str(&format!(
+                    "  \"speedup_fast_vs_seed\": {:.2},\n",
+                    after / before
+                ));
+            }
+        }
+    }
+    body.push_str(
+        "  \"note\": \"seed = pre-fast-path emulator; compat = instrumented loop via dyn hook \
+         (the seed loop shape); fast = Emulator::run\"\n}\n",
+    );
+    std::fs::write(&out_path, &body).expect("write BENCH_emulator.json");
+    println!("wrote {out_path}");
+}

@@ -51,7 +51,7 @@ pub struct HoistPlan {
     pub count: u32,
 }
 
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 enum CalcKey {
     Block(u32),
     Func(String),
@@ -117,10 +117,15 @@ pub fn plan(ir: &Function, vf: &VFunc, opts: &BrOptions, reserve_stash: bool) ->
         }
     }
     let mut ordered: Vec<((usize, CalcKey), Cand)> = cands.into_iter().collect();
+    // The tie-break must be a *total* order over candidates: the list
+    // comes out of a HashMap, so any tie left unresolved would make the
+    // hoisting plan (and hence dynamic instruction counts) vary from
+    // process to process.
     ordered.sort_by(|a, b| {
         b.1.freq
             .cmp(&a.1.freq)
             .then_with(|| a.1.blocks.cmp(&b.1.blocks))
+            .then_with(|| a.0.cmp(&b.0))
     });
 
     // ---- allocate branch registers, outermost-feasible level first ----

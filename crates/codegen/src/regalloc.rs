@@ -335,8 +335,12 @@ fn rewrite_spills(f: &mut VFunc, spills: &[VR]) {
         for mut inst in old.insts.drain(..) {
             uses.clear();
             inst.uses(&mut uses);
-            // Reload spilled uses into temps.
-            for &u in uses.iter().collect::<HashSet<_>>() {
+            // Reload spilled uses into temps. Dedupe in first-use order:
+            // the reload sequence (and the temp vreg numbering it creates)
+            // must be deterministic, or later spill rounds see different
+            // graphs on every run.
+            dedup_in_order(&mut uses);
+            for &u in &uses {
                 if let Some(s) = slot_of[u as usize] {
                     let class = f.class_of(u);
                     let t = f.new_vreg(class);
@@ -369,7 +373,8 @@ fn rewrite_spills(f: &mut VFunc, spills: &[VR]) {
         let mut term = old.term.take().expect("terminated");
         uses.clear();
         term.uses(&mut uses);
-        for &u in uses.iter().collect::<HashSet<_>>() {
+        dedup_in_order(&mut uses);
+        for &u in &uses {
             if let Some(s) = slot_of[u as usize] {
                 let class = f.class_of(u);
                 let t = f.new_vreg(class);
@@ -383,6 +388,19 @@ fn rewrite_spills(f: &mut VFunc, spills: &[VR]) {
         }
         new.term = Some(term);
         f.blocks[bi] = new;
+    }
+}
+
+/// Remove duplicates keeping the first occurrence of each value (the
+/// lists are a handful of entries, so the quadratic scan is fine).
+fn dedup_in_order(v: &mut Vec<VR>) {
+    let mut i = 0;
+    while i < v.len() {
+        if v[..i].contains(&v[i]) {
+            v.remove(i);
+        } else {
+            i += 1;
+        }
     }
 }
 

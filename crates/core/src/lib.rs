@@ -20,6 +20,8 @@
 
 use std::fmt;
 
+pub mod parallel;
+
 pub use br_codegen::{BaseOptions, BrOptions, CodegenError, CodegenStats};
 pub use br_emu::{EmuError, Measurements};
 pub use br_frontend::CompileError as FrontendError;
@@ -286,15 +288,32 @@ impl Experiment {
         })
     }
 
-    /// Run the full Appendix I suite at `scale`.
+    /// Run the full Appendix I suite at `scale`, serially.
     ///
     /// # Errors
     ///
     /// The first failing program's error.
     pub fn run_suite(&self, scale: Scale) -> Result<SuiteReport, Error> {
-        let mut rows = Vec::new();
-        for w in suite(scale) {
-            rows.push(self.run_comparison(w.name, &w.source)?);
+        self.run_suite_jobs(scale, 1)
+    }
+
+    /// Run the full Appendix I suite at `scale`, fanning the programs
+    /// across `jobs` worker threads (`0` = auto-detect). Each program
+    /// compiles and runs on both machines independently; rows come back
+    /// in suite order, so reports are identical at every `jobs` level.
+    ///
+    /// # Errors
+    ///
+    /// The error of the earliest (by suite order) failing program —
+    /// the same one a serial run would report.
+    pub fn run_suite_jobs(&self, scale: Scale, jobs: usize) -> Result<SuiteReport, Error> {
+        let workloads = suite(scale);
+        let results = parallel::map_ordered(&workloads, jobs, |_, w| {
+            self.run_comparison(w.name, &w.source)
+        });
+        let mut rows = Vec::with_capacity(results.len());
+        for r in results {
+            rows.push(r?);
         }
         Ok(SuiteReport { rows })
     }

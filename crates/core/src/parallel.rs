@@ -1,0 +1,104 @@
+//! Dependency-free parallel experiment driver.
+//!
+//! The program × machine × variant experiment matrix is embarrassingly
+//! parallel: every cell compiles and emulates in isolation. This module
+//! fans a work list across OS threads with [`std::thread::scope`] — no
+//! external crates — while keeping the *result order deterministic*:
+//! `map_ordered` always returns `f(0), f(1), …` in item order, whatever
+//! order the workers finished in. Golden outputs therefore regenerate
+//! byte-identical at any `--jobs` level.
+//!
+//! Workers pull the next item index from a shared atomic counter
+//! (work-stealing by index), so uneven item costs — `vpcc` runs an order
+//! of magnitude longer than `wc` — still load-balance.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads to use when the caller passes `jobs = 0`
+/// ("auto"): the machine's available parallelism, or 1 if unknown.
+pub fn available_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Apply `f` to every item of `items` across `jobs` worker threads and
+/// return the results **in item order**. `jobs = 0` means auto-detect;
+/// `jobs = 1` runs inline on the calling thread with no thread overhead.
+///
+/// `f` receives `(index, &item)`. A panic in any worker propagates to
+/// the caller once the scope joins.
+pub fn map_ordered<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let jobs = if jobs == 0 { available_jobs() } else { jobs };
+    let jobs = jobs.min(items.len().max(1));
+    if jobs <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..jobs {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(i, &items[i]);
+                *slots[i].lock().expect("result slot poisoned") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("every index was claimed exactly once")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_item_order() {
+        let items: Vec<u64> = (0..100).collect();
+        for jobs in [0, 1, 2, 7] {
+            let out = map_ordered(&items, jobs, |i, &x| {
+                // Make late items finish first to stress ordering.
+                if i % 3 == 0 {
+                    std::thread::yield_now();
+                }
+                x * 2
+            });
+            let want: Vec<u64> = items.iter().map(|x| x * 2).collect();
+            assert_eq!(out, want, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_item_lists() {
+        let none: Vec<i32> = Vec::new();
+        assert!(map_ordered(&none, 4, |_, &x| x).is_empty());
+        assert_eq!(map_ordered(&[9], 4, |_, &x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn more_jobs_than_items_is_fine() {
+        let out = map_ordered(&[1, 2, 3], 64, |_, &x| x * x);
+        assert_eq!(out, vec![1, 4, 9]);
+    }
+
+    #[test]
+    fn auto_jobs_detects_at_least_one() {
+        assert!(available_jobs() >= 1);
+    }
+}

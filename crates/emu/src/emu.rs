@@ -89,6 +89,14 @@ struct BrState {
 /// ```
 pub struct Emulator<'p> {
     prog: &'p Program,
+    /// Predecoded text segment: one [`MInst`] per text word, built once
+    /// at construction so the hot loop fetches by dense index instead of
+    /// re-matching [`TextWord`] per dynamic instruction. Data words hold
+    /// a placeholder and are marked in [`Emulator::data_word`]; fetching
+    /// one still reports [`EmuError::ExecutedData`].
+    decoded: Vec<MInst>,
+    /// `data_word[i]` ⇔ text word `i` is embedded data (jump table).
+    data_word: Vec<bool>,
     mem: Vec<u8>,
     regs: [i32; 32],
     fregs: [f32; 32],
@@ -127,8 +135,23 @@ impl<'p> Emulator<'p> {
             Machine::BranchReg => abi::BR_SP,
         };
         regs[sp.0 as usize] = abi::STACK_TOP as i32;
+        let mut decoded = Vec::with_capacity(prog.text.len());
+        let mut data_word = vec![false; prog.text.len()];
+        for (i, w) in prog.text.iter().enumerate() {
+            match w {
+                TextWord::Inst(inst) => decoded.push(*inst),
+                TextWord::Data(_) => {
+                    // Placeholder only; `fetch` checks `data_word` first,
+                    // so this can never execute.
+                    decoded.push(MInst::Halt);
+                    data_word[i] = true;
+                }
+            }
+        }
         Emulator {
             prog,
+            decoded,
+            data_word,
             mem,
             regs,
             fregs: [0.0; 32],
@@ -166,10 +189,12 @@ impl<'p> Emulator<'p> {
     }
 
     /// Read a 32-bit word from simulated memory (for checking results).
+    /// Returns `None` when any byte of the word lies outside memory,
+    /// including addresses where `addr + 4` would overflow.
     pub fn read_word(&self, addr: u32) -> Option<i32> {
-        let a = addr as usize;
+        let end = addr.checked_add(4)? as usize;
         self.mem
-            .get(a..a + 4)
+            .get(addr as usize..end)
             .map(|b| i32::from_le_bytes(b.try_into().unwrap()))
     }
 
@@ -180,6 +205,10 @@ impl<'p> Emulator<'p> {
 
     /// Run to `halt` with no hooks.
     ///
+    /// With no hook and no armed faults this takes the fully
+    /// monomorphized fast path: [`NoHook`](crate::hooks::NoHook)'s empty
+    /// callbacks inline to nothing and the fault queue is never scanned.
+    ///
     /// # Errors
     ///
     /// See [`EmuError`].
@@ -187,25 +216,49 @@ impl<'p> Emulator<'p> {
         self.run_with_hook(fuel, &mut crate::hooks::NoHook)
     }
 
-    /// Run to `halt`, reporting fetches and prefetches to `hook`
-    /// (used by the instruction-cache simulator).
+    /// Run to `halt`, reporting fetches, prefetches, and retirements to
+    /// `hook` (used by the instruction-cache simulator and the torture
+    /// oracle).
+    ///
+    /// The interpreter loop is generic over the hook type, so a concrete
+    /// `H` (e.g. `NoHook`, `TraceHook`, `ICacheSim`) monomorphizes with
+    /// its callbacks inlined; passing `&mut dyn ExecHook` still works and
+    /// dispatches virtually. When no injected fault is armed, execution
+    /// takes a fast path that never scans the fault queue; [`inject`]ing
+    /// any fault routes the whole run through the instrumented loop.
+    ///
+    /// [`inject`]: Emulator::inject
     ///
     /// # Errors
     ///
     /// See [`EmuError`].
-    pub fn run_with_hook(&mut self, fuel: u64, hook: &mut dyn ExecHook) -> Result<i32, EmuError> {
-        match self.prog.machine {
-            Machine::Baseline => self.run_baseline(fuel, hook),
-            Machine::BranchReg => self.run_brmachine(fuel, hook),
+    pub fn run_with_hook<H: ExecHook + ?Sized>(
+        &mut self,
+        fuel: u64,
+        hook: &mut H,
+    ) -> Result<i32, EmuError> {
+        let instrumented = !self.faults.is_empty() || self.fail_mem;
+        match (self.prog.machine, instrumented) {
+            (Machine::Baseline, false) => self.run_baseline::<H, false>(fuel, hook),
+            (Machine::Baseline, true) => self.run_baseline::<H, true>(fuel, hook),
+            (Machine::BranchReg, false) => self.run_brmachine::<H, false>(fuel, hook),
+            (Machine::BranchReg, true) => self.run_brmachine::<H, true>(fuel, hook),
         }
     }
 
+    /// Fetch from the predecoded side table: a wrapping subtract and one
+    /// dense index, with data words trapped via the `data_word` mark.
+    #[inline(always)]
     fn fetch(&self, pc: u32) -> Result<MInst, EmuError> {
-        match self.prog.fetch(pc) {
-            Some(TextWord::Inst(i)) => Ok(*i),
-            Some(TextWord::Data(_)) => Err(EmuError::ExecutedData(pc)),
-            None => Err(EmuError::BadFetch(pc)),
+        let off = pc.wrapping_sub(abi::TEXT_BASE);
+        let idx = (off >> 2) as usize;
+        if off & 3 != 0 || idx >= self.decoded.len() {
+            return Err(EmuError::BadFetch(pc));
         }
+        if self.data_word[idx] {
+            return Err(EmuError::ExecutedData(pc));
+        }
+        Ok(self.decoded[idx])
     }
 
     /// Apply any injected faults due at the current step. Called after
@@ -399,7 +452,11 @@ impl<'p> Emulator<'p> {
 
     // ---------------- baseline machine ----------------
 
-    fn run_baseline(&mut self, fuel: u64, hook: &mut dyn ExecHook) -> Result<i32, EmuError> {
+    fn run_baseline<H: ExecHook + ?Sized, const INSTRUMENTED: bool>(
+        &mut self,
+        fuel: u64,
+        hook: &mut H,
+    ) -> Result<i32, EmuError> {
         // `pending`: target of a taken delayed branch; the instruction at
         // `pc` (the delay slot) executes first.
         let mut pending: Option<u32> = None;
@@ -408,8 +465,10 @@ impl<'p> Emulator<'p> {
                 return Err(EmuError::OutOfFuel);
             }
             let pc = self.pc;
-            let inst = self.fetch(pc)?;
-            let inst = self.apply_faults(pc, inst)?;
+            let mut inst = self.fetch(pc)?;
+            if INSTRUMENTED {
+                inst = self.apply_faults(pc, inst)?;
+            }
             hook.fetch(pc);
             self.meas.instructions += 1;
             self.last_store = None;
@@ -499,13 +558,13 @@ impl<'p> Emulator<'p> {
 
     // ---------------- branch-register machine ----------------
 
-    fn assign_breg(
+    fn assign_breg<H: ExecHook + ?Sized>(
         &mut self,
         bd: u8,
         value: u32,
         from_cond: bool,
         assign_time: u64,
-        hook: &mut dyn ExecHook,
+        hook: &mut H,
     ) {
         self.bregs[bd as usize] = value;
         self.brstate[bd as usize] = BrState {
@@ -517,14 +576,20 @@ impl<'p> Emulator<'p> {
         hook.prefetch(value);
     }
 
-    fn run_brmachine(&mut self, fuel: u64, hook: &mut dyn ExecHook) -> Result<i32, EmuError> {
+    fn run_brmachine<H: ExecHook + ?Sized, const INSTRUMENTED: bool>(
+        &mut self,
+        fuel: u64,
+        hook: &mut H,
+    ) -> Result<i32, EmuError> {
         loop {
             if self.meas.instructions >= fuel {
                 return Err(EmuError::OutOfFuel);
             }
             let pc = self.pc;
-            let inst = self.fetch(pc)?;
-            let inst = self.apply_faults(pc, inst)?;
+            let mut inst = self.fetch(pc)?;
+            if INSTRUMENTED {
+                inst = self.apply_faults(pc, inst)?;
+            }
             hook.fetch(pc);
             self.meas.instructions += 1;
             self.last_store = None;
@@ -1310,5 +1375,32 @@ mod tests {
         );
         let mut emu = Emulator::new(&prog);
         assert_eq!(emu.run(1000).unwrap(), 0);
+    }
+
+    #[test]
+    fn read_word_boundaries() {
+        let prog = asm_main(
+            Machine::Baseline,
+            vec![
+                AsmItem::Inst(
+                    MInst::Jmpl {
+                        rd: Reg(0),
+                        rs1: abi::BASE_LINK,
+                        off: 0,
+                    },
+                    None,
+                ),
+                AsmItem::Inst(MInst::Nop { br: 0 }, None),
+            ],
+        );
+        let emu = Emulator::new(&prog);
+        // Last fully in-bounds word.
+        assert_eq!(emu.read_word(abi::MEM_SIZE - 4), Some(0));
+        // Word straddling the end of memory.
+        assert_eq!(emu.read_word(abi::MEM_SIZE - 3), None);
+        assert_eq!(emu.read_word(abi::MEM_SIZE), None);
+        // Addresses where `addr + 4` overflows u32 must not panic.
+        assert_eq!(emu.read_word(u32::MAX), None);
+        assert_eq!(emu.read_word(u32::MAX - 3), None);
     }
 }

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! br-torture --seed N --iters M [--fuel F]     differential fuzz run
+//! br-torture ... --jobs J                      fan iterations across J threads
 //! br-torture ... --verify                      also gate every stage with br-verify
 //! br-torture --demo-fault                      fault-injection demo
 //! br-torture --demo-miscompile                 wrong-code-catch demo
@@ -22,6 +23,7 @@ struct Args {
     seed: u64,
     iters: u64,
     fuel: u64,
+    jobs: usize,
     verify: bool,
     demo_fault: bool,
     demo_miscompile: bool,
@@ -32,6 +34,7 @@ fn parse_args() -> Result<Args, String> {
         seed: 42,
         iters: 1000,
         fuel: DEFAULT_FUEL,
+        jobs: 1,
         verify: false,
         demo_fault: false,
         demo_miscompile: false,
@@ -51,12 +54,13 @@ fn parse_args() -> Result<Args, String> {
             "--seed" => args.seed = num("--seed")?,
             "--iters" => args.iters = num("--iters")?,
             "--fuel" => args.fuel = num("--fuel")?,
+            "--jobs" => args.jobs = num("--jobs")? as usize,
             "--verify" => args.verify = true,
             "--demo-fault" => args.demo_fault = true,
             "--demo-miscompile" => args.demo_miscompile = true,
             "--help" | "-h" => {
                 return Err("usage: br-torture [--seed N] [--iters M] [--fuel F] \
-                            [--verify] [--demo-fault] [--demo-miscompile]"
+                            [--jobs J] [--verify] [--demo-fault] [--demo-miscompile]"
                     .into())
             }
             other => return Err(format!("unknown argument `{other}` (try --help)")),
@@ -87,47 +91,65 @@ fn main() {
 
 fn fuzz(args: &Args) -> i32 {
     let cfg = GenConfig::default();
+    let jobs = if args.jobs == 0 {
+        br_core::parallel::available_jobs()
+    } else {
+        args.jobs
+    };
     let mut base_insts = 0u64;
     let mut br_insts = 0u64;
     let mut stores = 0usize;
-    for i in 0..args.iters {
-        let s = iter_seed(args.seed, i);
-        let ast = generate(s, cfg);
-        let src = render(&ast);
-        match check_src_with(&src, args.fuel, args.verify) {
-            Ok(a) => {
-                base_insts += a.base_instructions;
-                br_insts += a.br_instructions;
-                stores += a.global_stores;
-                if (i + 1) % 200 == 0 {
-                    println!(
-                        "[{}/{}] ok — {} baseline insts, {} br insts, {} global stores so far",
-                        i + 1,
-                        args.iters,
-                        base_insts,
-                        br_insts,
-                        stores
-                    );
+    // Iterations run in blocks fanned across `jobs` threads; each block's
+    // results are then consumed strictly in iteration order, so progress
+    // lines and the first-divergence report are byte-identical to a
+    // `--jobs 1` run. At most one block of work runs past a divergence.
+    let block = (jobs as u64 * 16).max(64);
+    let mut start = 0u64;
+    while start < args.iters {
+        let idxs: Vec<u64> = (start..(start + block).min(args.iters)).collect();
+        start += idxs.len() as u64;
+        let results = br_core::parallel::map_ordered(&idxs, jobs, |_, &i| {
+            let s = iter_seed(args.seed, i);
+            let ast = generate(s, cfg);
+            let src = render(&ast);
+            check_src_with(&src, args.fuel, args.verify).map_err(|d| (s, ast, d))
+        });
+        for (&i, result) in idxs.iter().zip(results) {
+            match result {
+                Ok(a) => {
+                    base_insts += a.base_instructions;
+                    br_insts += a.br_instructions;
+                    stores += a.global_stores;
+                    if (i + 1) % 200 == 0 {
+                        println!(
+                            "[{}/{}] ok — {} baseline insts, {} br insts, {} global stores so far",
+                            i + 1,
+                            args.iters,
+                            base_insts,
+                            br_insts,
+                            stores
+                        );
+                    }
                 }
-            }
-            Err(d) => {
-                println!("iteration {i} (seed {s:#x}) DIVERGED: {d}");
-                println!("minimizing ({} statements)...", count_stmts(&ast));
-                let min = minimize(&ast, |cand| {
-                    check_src_with(&render(cand), args.fuel, args.verify).is_err()
-                });
-                let min_src = render(&min);
-                let final_d = check_src_with(&min_src, args.fuel, args.verify)
-                    .expect_err("minimizer preserves failure");
-                println!(
-                    "minimized to {} statements; divergence: {final_d}",
-                    count_stmts(&min)
-                );
-                println!("---- minimized reproduction ----\n{min_src}");
-                println!(
-                    "replay with: cargo run -p br-torture -- --seed {s} --iters 1"
-                );
-                return 1;
+                Err((s, ast, d)) => {
+                    println!("iteration {i} (seed {s:#x}) DIVERGED: {d}");
+                    println!("minimizing ({} statements)...", count_stmts(&ast));
+                    let min = minimize(&ast, |cand| {
+                        check_src_with(&render(cand), args.fuel, args.verify).is_err()
+                    });
+                    let min_src = render(&min);
+                    let final_d = check_src_with(&min_src, args.fuel, args.verify)
+                        .expect_err("minimizer preserves failure");
+                    println!(
+                        "minimized to {} statements; divergence: {final_d}",
+                        count_stmts(&min)
+                    );
+                    println!("---- minimized reproduction ----\n{min_src}");
+                    println!(
+                        "replay with: cargo run -p br-torture -- --seed {s} --iters 1"
+                    );
+                    return 1;
+                }
             }
         }
     }

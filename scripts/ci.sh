@@ -22,10 +22,24 @@ cargo test -q
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
-echo "==> torture smoke run (seed 42, 200 iterations, verify gates on)"
-cargo run --release -p br-torture -- --seed 42 --iters 200 --verify
+echo "==> torture smoke run (seed 42, 200 iterations, verify gates on, 4 jobs)"
+cargo run --release -p br-torture -- --seed 42 --iters 200 --verify --jobs 4
 
 echo "==> fault-injection demo (typed errors, no panics)"
 cargo run --release -p br-torture -- --demo-fault
+
+echo "==> emulator perf bench (test scale; JSON kept out of the tree)"
+cargo run --release -p br-bench --bin perf -- --reps 2 --out target/BENCH_emulator_ci.json
+
+echo "==> results/*.txt goldens regenerate byte-identical"
+regen_dir="target/results_regen"
+rm -rf "$regen_dir"
+sh scripts/regen_results.sh "$regen_dir"
+for f in results/*.txt; do
+    if ! diff -u "$f" "$regen_dir/$(basename "$f")"; then
+        echo "GOLDEN DRIFT: $f no longer regenerates byte-identical"
+        exit 1
+    fi
+done
 
 echo "CI OK"

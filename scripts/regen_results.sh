@@ -1,0 +1,22 @@
+#!/usr/bin/env sh
+# Regenerate the paper-scale golden outputs archived under results/.
+#
+#   scripts/regen_results.sh            rewrite results/*.txt in place
+#   scripts/regen_results.sh OUTDIR     write into OUTDIR instead
+#
+# The compile→emulate pipeline is deterministic, so rerunning this
+# script on an unchanged tree must reproduce every file byte-identical
+# (scripts/ci.sh enforces exactly that).
+set -eu
+
+cd "$(dirname "$0")/.."
+outdir="${1:-results}"
+mkdir -p "$outdir"
+
+cargo build --release -p br-bench
+
+for bin in table1 control_stats cycles fig2_fig4 fig5_fig7 fig6_fig8 \
+           fig9_distance br_sweep cache_study; do
+    echo "==> $bin"
+    ./target/release/"$bin" --paper > "$outdir/$bin.txt"
+done
