@@ -1,8 +1,14 @@
-//! Experiment P — emulator throughput tracker.
+//! Experiment P — emulator and compiler throughput trackers.
 //!
-//! Times the emulation hot path over the 19-program Appendix I suite and
-//! writes `BENCH_emulator.json` at the repo root so every PR has a perf
-//! trajectory. Two loop variants are measured:
+//! ```text
+//! perf [emu]     [--paper] [--reps N] [--jobs N] [--record seed|current] [--out PATH]
+//! perf compile   [--paper] [--reps N] [--jobs N] [--record seed|current] [--out PATH]
+//!                [--baseline PATH] [--check RATIO]
+//! ```
+//!
+//! **emu** (the default) times the emulation hot path over the 19-program
+//! Appendix I suite and writes `BENCH_emulator.json` at the repo root.
+//! Two loop variants are measured:
 //!
 //! - **fast**: `Emulator::run` — no hook, no faults armed. After the
 //!   fast-path rework this is the predecoded, monomorphized loop.
@@ -10,42 +16,61 @@
 //!   which forces the instrumented loop through virtual dispatch — the
 //!   shape of the seed interpreter, kept as the honest "before" loop.
 //!
-//! ```text
-//! perf [--paper] [--reps N] [--jobs N] [--record seed|current] [--out PATH]
-//! ```
+//! **compile** times cold suite compilation (source text → assembled
+//! `Program`, every workload × both machines) with the br-verify stage
+//! gates off and on, and writes `BENCH_compiler.json` in the same
+//! seed/current schema. `--check RATIO` additionally compares the fresh
+//! verify-off measurement against the tracked baseline file and exits
+//! nonzero when throughput fell below `RATIO ×` the recorded value — the
+//! CI regression gate.
 //!
-//! `--record seed` stamps the measurements into the `"seed"` section of
-//! the JSON (done once, on the pre-optimization tree); the default
-//! updates `"current"` and recomputes `"speedup_fast_vs_seed"`. Sections
-//! not being recorded are preserved from the existing file.
+//! For both modes `--record seed` stamps the measurements into the
+//! `"seed"` section of the JSON (done once, on the pre-optimization
+//! tree); the default updates `"current"` and recomputes the speedup
+//! ratio. Sections not being recorded are preserved from the existing
+//! file.
 
 use std::time::Instant;
 
-use br_bench::{human, jobs_from_args, scale_from_args};
-use br_core::{suite, Experiment, Machine, Program, Scale};
+use br_bench::{extract_object, human, jobs_from_args, scale_from_args, scan_number};
+use br_core::{suite, Experiment, Machine, Program, Scale, Workload};
 use br_emu::{Emulator, ExecHook, Fault, NoHook};
 
 const FUEL: u64 = 4_000_000_000;
 
 struct Args {
+    mode: Mode,
     scale: Scale,
     reps: u32,
     jobs: usize,
     record: String,
     out: Option<String>,
+    baseline: Option<String>,
+    check: Option<f64>,
+}
+
+#[derive(PartialEq)]
+enum Mode {
+    Emu,
+    Compile,
 }
 
 fn parse_args() -> Args {
     let mut args = Args {
+        mode: Mode::Emu,
         scale: scale_from_args(),
         reps: 5,
         jobs: jobs_from_args(),
         record: "current".to_string(),
         out: None,
+        baseline: None,
+        check: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
+            "emu" => args.mode = Mode::Emu,
+            "compile" => args.mode = Mode::Compile,
             // Shared flags, parsed by the br-bench helpers above.
             "--paper" => {}
             "--jobs" => {
@@ -54,6 +79,8 @@ fn parse_args() -> Args {
             "--reps" => args.reps = it.next().and_then(|v| v.parse().ok()).unwrap_or(5),
             "--record" => args.record = it.next().unwrap_or_else(|| "current".into()),
             "--out" => args.out = it.next(),
+            "--baseline" => args.baseline = it.next(),
+            "--check" => args.check = it.next().and_then(|v| v.parse().ok()),
             other => {
                 eprintln!("unknown argument `{other}`");
                 std::process::exit(2);
@@ -62,6 +89,64 @@ fn parse_args() -> Args {
     }
     args
 }
+
+/// Default path of a tracker file at the repo root.
+fn root_path(name: &str) -> String {
+    format!("{}/../../{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn now_unix() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+/// Merge a freshly measured `section` into the existing tracker JSON,
+/// preserving the section not being recorded, and recompute the
+/// `speedup_key` ratio of `metric` between seed and current.
+#[allow(clippy::too_many_arguments)]
+fn write_tracker(
+    out_path: &str,
+    schema: &str,
+    scale: Scale,
+    programs: usize,
+    record: &str,
+    section: String,
+    metric: &str,
+    speedup_key: &str,
+    note: &str,
+) {
+    let existing = std::fs::read_to_string(out_path).unwrap_or_default();
+    let (seed, current) = if record == "seed" {
+        (Some(section), extract_object(&existing, "current"))
+    } else {
+        (extract_object(&existing, "seed"), Some(section))
+    };
+
+    let mut body = format!("{{\n  \"schema\": \"{schema}\",\n");
+    body.push_str(&format!(
+        "  \"scale\": \"{scale:?}\",\n  \"suite_programs\": {programs},\n"
+    ));
+    if let Some(s) = &seed {
+        body.push_str(&format!("  \"seed\": {s},\n"));
+    }
+    if let Some(c) = &current {
+        body.push_str(&format!("  \"current\": {c},\n"));
+    }
+    if let (Some(s), Some(c)) = (&seed, &current) {
+        if let (Some(before), Some(after)) = (scan_number(s, metric), scan_number(c, metric)) {
+            if before > 0.0 {
+                body.push_str(&format!("  \"{speedup_key}\": {:.2},\n", after / before));
+            }
+        }
+    }
+    body.push_str(&format!("  \"note\": \"{note}\"\n}}\n"));
+    std::fs::write(out_path, &body).expect("write tracker JSON");
+    println!("wrote {out_path}");
+}
+
+// ---------------------------------------------------------------- emu --
 
 /// One timed pass over every compiled program: returns (instructions, seconds).
 fn pass(progs: &[Program], compat: bool) -> (u64, f64) {
@@ -100,64 +185,7 @@ fn best_ips(progs: &[Program], compat: bool, reps: u32) -> (u64, f64) {
     (insts, insts as f64 / best)
 }
 
-/// Extract the balanced-brace JSON object following `"<key>":` (naive,
-/// but the file is machine-written so the shape is known).
-fn extract_object(json: &str, key: &str) -> Option<String> {
-    let pat = format!("\"{key}\":");
-    let start = json.find(&pat)? + pat.len();
-    let rest = json[start..].trim_start();
-    if !rest.starts_with('{') {
-        return None;
-    }
-    let mut depth = 0usize;
-    for (i, c) in rest.char_indices() {
-        match c {
-            '{' => depth += 1,
-            '}' => {
-                depth -= 1;
-                if depth == 0 {
-                    return Some(rest[..=i].to_string());
-                }
-            }
-            _ => {}
-        }
-    }
-    None
-}
-
-/// Pull a bare number out of a section produced by [`section_json`].
-fn scan_number(obj: &str, key: &str) -> Option<f64> {
-    let pat = format!("\"{key}\":");
-    let start = obj.find(&pat)? + pat.len();
-    let tail: String = obj[start..]
-        .trim_start()
-        .chars()
-        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
-        .collect();
-    tail.parse().ok()
-}
-
-#[allow(clippy::too_many_arguments)]
-fn section_json(
-    insts: u64,
-    fast_ips: f64,
-    compat_ips: f64,
-    wall_ms: f64,
-    jobs: usize,
-) -> String {
-    let now = std::time::SystemTime::now()
-        .duration_since(std::time::UNIX_EPOCH)
-        .map(|d| d.as_secs())
-        .unwrap_or(0);
-    format!(
-        "{{\n    \"unix_time\": {now},\n    \"total_suite_insts\": {insts},\n    \
-         \"fast_insts_per_sec\": {fast_ips:.0},\n    \"compat_insts_per_sec\": {compat_ips:.0},\n    \
-         \"suite_wall_ms\": {wall_ms:.1},\n    \"jobs\": {jobs}\n  }}"
-    )
-}
-
-fn main() {
-    let args = parse_args();
+fn run_emu(args: &Args) {
     let exp = Experiment::new();
 
     // Compile everything up front so the loop timings are emulation-only.
@@ -202,46 +230,169 @@ fn main() {
         report.rows.len()
     );
 
-    let out_path = args.out.clone().unwrap_or_else(|| {
-        format!("{}/../../BENCH_emulator.json", env!("CARGO_MANIFEST_DIR"))
+    let section = format!(
+        "{{\n    \"unix_time\": {},\n    \"total_suite_insts\": {insts},\n    \
+         \"fast_insts_per_sec\": {fast_ips:.0},\n    \"compat_insts_per_sec\": {compat_ips:.0},\n    \
+         \"suite_wall_ms\": {wall_ms:.1},\n    \"jobs\": {jobs}\n  }}",
+        now_unix()
+    );
+    let out_path = args
+        .out
+        .clone()
+        .unwrap_or_else(|| root_path("BENCH_emulator.json"));
+    write_tracker(
+        &out_path,
+        "br-emulator-perf-v1",
+        args.scale,
+        report.rows.len(),
+        &args.record,
+        section,
+        "fast_insts_per_sec",
+        "speedup_fast_vs_seed",
+        "seed = pre-fast-path emulator; compat = instrumented loop via dyn hook \
+         (the seed loop shape); fast = Emulator::run",
+    );
+}
+
+// ------------------------------------------------------------ compile --
+
+/// One cold compilation pass over the whole suite on both machines:
+/// returns (total emitted static instructions, seconds). Each workload
+/// goes through the machine-independent front end once and codegen
+/// twice — the same shape `Experiment::run_comparison` uses.
+fn compile_pass(exp: &Experiment, workloads: &[Workload], jobs: usize) -> (u64, f64) {
+    let t = Instant::now();
+    let counts = br_core::parallel::map_ordered(workloads, jobs, |_, w| {
+        let module =
+            br_frontend::compile(&w.source).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let mut n = 0u64;
+        for m in [Machine::Baseline, Machine::BranchReg] {
+            let (prog, _) = exp
+                .compile_module_for(&module, m)
+                .unwrap_or_else(|e| panic!("{} on {m:?}: {e}", w.name));
+            n += prog.static_inst_count() as u64;
+        }
+        n
     });
-    let existing = std::fs::read_to_string(&out_path).unwrap_or_default();
-    let this = section_json(insts, fast_ips, compat_ips, wall_ms, jobs);
-    let (seed, current) = if args.record == "seed" {
-        (Some(this), extract_object(&existing, "current"))
-    } else {
-        (extract_object(&existing, "seed"), Some(this))
+    (counts.iter().sum(), t.elapsed().as_secs_f64())
+}
+
+/// Best-of-`reps` seconds for one experiment configuration.
+fn best_compile(exp: &Experiment, workloads: &[Workload], reps: u32, jobs: usize) -> (u64, f64) {
+    let mut best = f64::MAX;
+    let mut insts = 0;
+    for _ in 0..reps {
+        let (n, secs) = compile_pass(exp, workloads, jobs);
+        insts = n;
+        best = best.min(secs);
+    }
+    (insts, best)
+}
+
+fn run_compile(args: &Args) {
+    let workloads = suite(args.scale);
+    // Default single-thread: the recorded throughput is the per-core
+    // number the ≥2× target is judged on; --jobs N scales the matrix.
+    let jobs = args.jobs.max(1);
+    let exp_off = Experiment {
+        verify: false,
+        ..Experiment::new()
+    };
+    let exp_on = Experiment {
+        verify: true,
+        ..Experiment::new()
     };
 
-    let mut body = String::from("{\n  \"schema\": \"br-emulator-perf-v1\",\n");
-    body.push_str(&format!(
-        "  \"scale\": \"{:?}\",\n  \"suite_programs\": {},\n",
+    println!(
+        "compiler perf, {:?} scale, {} programs x 2 machines, best of {} reps (jobs={jobs})",
         args.scale,
-        report.rows.len()
-    ));
-    if let Some(s) = &seed {
-        body.push_str(&format!("  \"seed\": {s},\n"));
+        workloads.len(),
+        args.reps
+    );
+
+    // Front-end-only pass, printed for orientation (not recorded): how
+    // much of the wall is parse+lower+opt vs codegen+assembly.
+    let t = Instant::now();
+    for w in &workloads {
+        br_frontend::compile(&w.source).expect("suite compiles");
     }
-    if let Some(c) = &current {
-        body.push_str(&format!("  \"current\": {c},\n"));
-    }
-    if let (Some(s), Some(c)) = (&seed, &current) {
-        if let (Some(before), Some(after)) = (
-            scan_number(s, "fast_insts_per_sec"),
-            scan_number(c, "fast_insts_per_sec"),
-        ) {
-            if before > 0.0 {
-                body.push_str(&format!(
-                    "  \"speedup_fast_vs_seed\": {:.2},\n",
-                    after / before
-                ));
-            }
+    let fe_ms = t.elapsed().as_secs_f64() * 1000.0;
+    println!("  front end   : {fe_ms:.1} ms (single pass, shared by both machines)");
+
+    let (static_insts, off_secs) = best_compile(&exp_off, &workloads, args.reps, jobs);
+    let off_ips = static_insts as f64 / off_secs;
+    println!(
+        "  verify off  : {} static insts emitted in {:.1} ms ({} insts/sec)",
+        human(static_insts),
+        off_secs * 1000.0,
+        human(off_ips as u64)
+    );
+    let (_, on_secs) = best_compile(&exp_on, &workloads, args.reps, jobs);
+    let on_ips = static_insts as f64 / on_secs;
+    println!(
+        "  verify on   : {:.1} ms ({} insts/sec)",
+        on_secs * 1000.0,
+        human(on_ips as u64)
+    );
+
+    let section = format!(
+        "{{\n    \"unix_time\": {},\n    \"total_static_insts\": {static_insts},\n    \
+         \"compile_insts_per_sec\": {off_ips:.0},\n    \"verify_insts_per_sec\": {on_ips:.0},\n    \
+         \"suite_compile_ms\": {:.1},\n    \"jobs\": {jobs}\n  }}",
+        now_unix(),
+        off_secs * 1000.0
+    );
+
+    let out_path = args
+        .out
+        .clone()
+        .unwrap_or_else(|| root_path("BENCH_compiler.json"));
+    write_tracker(
+        &out_path,
+        "br-compiler-perf-v1",
+        args.scale,
+        workloads.len(),
+        &args.record,
+        section,
+        "compile_insts_per_sec",
+        "speedup_vs_seed",
+        "static insts emitted per second of cold suite compilation (frontend + codegen + \
+         assembly, both machines); seed = pre-fast-path compiler (HashSet dataflow)",
+    );
+
+    // Regression gate: fresh verify-off throughput vs the tracked file.
+    if let Some(ratio) = args.check {
+        let baseline_path = args
+            .baseline
+            .clone()
+            .unwrap_or_else(|| root_path("BENCH_compiler.json"));
+        let baseline = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("--check needs a baseline at {baseline_path}: {e}"));
+        let recorded = extract_object(&baseline, "current")
+            .as_deref()
+            .and_then(|c| scan_number(c, "compile_insts_per_sec"))
+            .expect("baseline has current.compile_insts_per_sec");
+        let floor = recorded * ratio;
+        println!(
+            "  check       : {} insts/sec vs floor {} ({ratio} x recorded {})",
+            human(off_ips as u64),
+            human(floor as u64),
+            human(recorded as u64)
+        );
+        if off_ips < floor {
+            eprintln!(
+                "COMPILE PERF REGRESSION: {off_ips:.0} insts/sec is below \
+                 {ratio} x the recorded baseline {recorded:.0}"
+            );
+            std::process::exit(1);
         }
     }
-    body.push_str(
-        "  \"note\": \"seed = pre-fast-path emulator; compat = instrumented loop via dyn hook \
-         (the seed loop shape); fast = Emulator::run\"\n}\n",
-    );
-    std::fs::write(&out_path, &body).expect("write BENCH_emulator.json");
-    println!("wrote {out_path}");
+}
+
+fn main() {
+    let args = parse_args();
+    match args.mode {
+        Mode::Emu => run_emu(&args),
+        Mode::Compile => run_compile(&args),
+    }
 }

@@ -197,7 +197,7 @@ impl<'a, 'e> BrEmit<'a, 'e> {
     /// Free caller-saved branch registers usable as scratch in block `b`
     /// (excludes registers live for enclosing loops and the stash).
     fn scratch_for(&mut self, b: u32) -> Option<u8> {
-        let reserved = self.plan.reserved_in.get(&b);
+        let reserved = self.plan.reserved_in(b);
         let pool: Vec<u8> = self
             .caller_pool
             .iter()
@@ -205,7 +205,7 @@ impl<'a, 'e> BrEmit<'a, 'e> {
             .filter(|r| {
                 Some(*r) != self.stash
                     && !self.scratch_used.contains(r)
-                    && reserved.map(|rs| !rs.contains(r)).unwrap_or(true)
+                    && !reserved.contains(r)
             })
             .collect();
         if pool.is_empty() {
@@ -284,7 +284,7 @@ impl<'a, 'e> BrEmit<'a, 'e> {
     /// `pending` calcs are flushed here; one may become the carrier.
     fn emit_jump(&mut self, b: u32, t: u32, pending: &mut Vec<Hoisted>) {
         // Resolve the target's branch register.
-        let hoisted = self.plan.target_breg.get(&(b, t)).copied();
+        let hoisted = self.plan.target_breg(b, t);
         let pending_match = pending
             .iter()
             .find(|h| h.what == HoistedWhat::Block(t))
@@ -403,7 +403,9 @@ fn find_held(
     None
 }
 
-/// Emit one function for the branch-register machine. The returned
+/// Emit one function for the branch-register machine. `loops` must be
+/// the loop forest of `ir`'s CFG (the caller builds it for spill-cost
+/// depths; hoisting takes it over rather than recomputing). The returned
 /// [`HoistPlan`] records which branch registers hold hoisted targets in
 /// which blocks, so post-emission checkers can audit the discipline.
 pub fn emit_brmach(
@@ -412,6 +414,7 @@ pub fn emit_brmach(
     target: &TargetSpec,
     alloc: &Allocation,
     opts: BrOptions,
+    loops: br_ir::LoopForest,
 ) -> Result<(AsmFunc, CodegenStats, HoistPlan), CodegenError> {
     vf.max_out_args = compute_max_out_args(vf, target);
 
@@ -426,16 +429,11 @@ pub fn emit_brmach(
     // Leaf functions with internal transfers stash b[7] in a caller-saved
     // branch register (no memory traffic), so withhold one from hoisting.
     let want_stash = has_internal && !vf.has_call;
-    let plan = hoist::plan(ir, vf, &opts, want_stash);
+    let plan = hoist::plan(ir, vf, &opts, want_stash, loops);
     let (_, caller_pool) = opts.pools();
 
     // Return-address strategy.
-    let assigned: Vec<u8> = plan
-        .preheader
-        .values()
-        .flatten()
-        .map(|h| h.breg)
-        .collect();
+    let assigned: Vec<u8> = plan.iter_hoisted().map(|h| h.breg).collect();
     let stash = if want_stash {
         caller_pool
             .iter()
@@ -578,11 +576,7 @@ pub fn emit_brmach(
             }
         }
 
-        let mut pending: Vec<Hoisted> = plan
-            .preheader
-            .get(&(bi as u32))
-            .cloned()
-            .unwrap_or_default();
+        let mut pending: Vec<Hoisted> = plan.preheader(bi as u32).to_vec();
         let next = if bi + 1 < nblocks {
             Some(br_ir::BlockId((bi + 1) as u32))
         } else {
@@ -626,8 +620,8 @@ fn emit_br_call(
     // Target address: a hoisted callee-saved register, or b7 via
     // sethi+bmovr (using b7 is free — the carrier's side effect
     // immediately rewrites it with the return address).
-    let brv = match ctx.plan.call_breg.get(&(block, func.to_string())) {
-        Some(&b) => b,
+    let brv = match ctx.plan.call_breg(block, func) {
+        Some(b) => b,
         None => {
             let temp = ctx.e.target.temp;
             // The last argument move can ride after the bmovr as the
@@ -771,7 +765,7 @@ fn emit_br_term(
             };
 
             // Resolve bt: hoisted, pending, or local scratch.
-            let hoisted = ctx.plan.target_breg.get(&(b, then_bb.0)).copied();
+            let hoisted = ctx.plan.target_breg(b, then_bb.0);
             let pending_match = pending
                 .iter()
                 .find(|h| h.what == HoistedWhat::Block(then_bb.0))
@@ -1108,7 +1102,7 @@ mod tests {
             .map(|i| loops.depth(br_ir::BlockId(i as u32)))
             .collect();
         let alloc = allocate(&mut vf, &t, &depth).unwrap();
-        let (afunc, stats, _plan) = emit_brmach(f, &mut vf, &t, &alloc, opts).unwrap();
+        let (afunc, stats, _plan) = emit_brmach(f, &mut vf, &t, &alloc, opts, loops).unwrap();
         (afunc, stats)
     }
 

@@ -8,9 +8,7 @@
 //! Loops containing calls require callee-saved branch registers; branch
 //! registers may be shared between non-overlapping loops.
 
-use std::collections::HashMap;
-
-use br_ir::{Cfg, Dominators, FreqEstimate, Function, LoopForest};
+use br_ir::{FreqEstimate, Function, LoopForest};
 
 use crate::target::BrOptions;
 use crate::vcode::{VFunc, VInst, VTerm};
@@ -34,21 +32,118 @@ pub struct Hoisted {
 }
 
 /// The complete hoisting plan for one function.
+///
+/// All per-block tables are vectors indexed by block id (the seed kept
+/// hash maps keyed by block and `(block, target)` tuples); short vectors
+/// read as empty, so a `Default` plan is the valid "nothing hoisted"
+/// plan. Consumers go through the accessor methods.
 #[derive(Debug, Clone, Default)]
 pub struct HoistPlan {
-    /// `(branch block, target block)` → branch register.
-    pub target_breg: HashMap<(u32, u32), u8>,
-    /// `(call block, callee name)` → branch register.
-    pub call_breg: HashMap<(u32, String), u8>,
-    /// Preheader block → calculations to place there.
-    pub preheader: HashMap<u32, Vec<Hoisted>>,
+    /// Per branch block: hoisted `(target block, branch register)` for
+    /// the block's terminator. One terminator per block ⇒ at most one
+    /// hoisted target per block.
+    target_breg: Vec<Option<(u32, u8)>>,
+    /// Per call block: `(callee name, branch register)` pairs.
+    call_breg: Vec<Vec<(String, u8)>>,
+    /// Per preheader block: calculations to place there.
+    preheader: Vec<Vec<Hoisted>>,
     /// Callee-saved branch registers used (must be saved/restored).
     pub used_callee: Vec<u8>,
-    /// For each block, the branch registers live in some enclosing loop
+    /// Per block: branch registers live in some enclosing loop
     /// (unavailable as local scratch).
-    pub reserved_in: HashMap<u32, Vec<u8>>,
+    reserved_in: Vec<Vec<u8>>,
     /// Total number of hoisted calculations.
     pub count: u32,
+}
+
+impl HoistPlan {
+    /// Empty plan with per-block tables sized for `nblocks`.
+    fn with_blocks(nblocks: usize) -> HoistPlan {
+        HoistPlan {
+            target_breg: vec![None; nblocks],
+            call_breg: vec![Vec::new(); nblocks],
+            preheader: vec![Vec::new(); nblocks],
+            reserved_in: vec![Vec::new(); nblocks],
+            ..HoistPlan::default()
+        }
+    }
+
+    /// Branch register hoisted for the transfer `block` → `target`.
+    pub fn target_breg(&self, block: u32, target: u32) -> Option<u8> {
+        match self.target_breg.get(block as usize) {
+            Some(&Some((t, r))) if t == target => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Branch register hoisted for a call to `func` from `block`.
+    pub fn call_breg(&self, block: u32, func: &str) -> Option<u8> {
+        self.call_breg
+            .get(block as usize)?
+            .iter()
+            .find(|(f, _)| f == func)
+            .map(|&(_, r)| r)
+    }
+
+    /// Calculations placed in `block` (empty unless it is a preheader).
+    pub fn preheader(&self, block: u32) -> &[Hoisted] {
+        self.preheader
+            .get(block as usize)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Branch registers reserved (live for an enclosing loop) in `block`.
+    pub fn reserved_in(&self, block: u32) -> &[u8] {
+        self.reserved_in
+            .get(block as usize)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Every hoisted calculation, across all preheaders.
+    pub fn iter_hoisted(&self) -> impl Iterator<Item = &Hoisted> {
+        self.preheader.iter().flatten()
+    }
+
+    fn grow(&mut self, block: u32) {
+        let need = block as usize + 1;
+        if self.target_breg.len() < need {
+            self.target_breg.resize(need, None);
+            self.call_breg.resize(need, Vec::new());
+            self.preheader.resize(need, Vec::new());
+            self.reserved_in.resize(need, Vec::new());
+        }
+    }
+
+    /// Record a hoisted calculation in `block`'s preheader list (grows
+    /// the tables; also used by verifier tests to build plans by hand).
+    pub fn add_preheader(&mut self, block: u32, h: Hoisted) {
+        self.grow(block);
+        self.preheader[block as usize].push(h);
+    }
+
+    /// Reserve `breg` in `block` (grows the tables; also used by
+    /// verifier tests to build plans by hand).
+    pub fn add_reserved(&mut self, block: u32, breg: u8) {
+        self.grow(block);
+        self.reserved_in[block as usize].push(breg);
+    }
+
+    fn set_target_breg(&mut self, block: u32, target: u32, breg: u8) {
+        self.grow(block);
+        let slot = &mut self.target_breg[block as usize];
+        debug_assert!(
+            slot.is_none() || *slot == Some((target, breg)),
+            "block {block} hoists two distinct targets"
+        );
+        *slot = Some((target, breg));
+    }
+
+    fn add_call_breg(&mut self, block: u32, func: String, breg: u8) {
+        self.grow(block);
+        self.call_breg[block as usize].push((func, breg));
+    }
 }
 
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -58,26 +153,34 @@ enum CalcKey {
 }
 
 /// Build the plan. `ir` must be the IR function `vf` was selected from
-/// (block ids are shared). When `reserve_stash` is set, one caller-saved
-/// branch register is withheld from the pools so a leaf function can
-/// stash its return address without memory traffic (the paper's
-/// `b[1]=b[7]` pattern in Figure 4).
-pub fn plan(ir: &Function, vf: &VFunc, opts: &BrOptions, reserve_stash: bool) -> HoistPlan {
-    let mut plan = HoistPlan::default();
+/// (block ids are shared), and `loops` must be the loop forest of `ir`'s
+/// CFG — the caller already has it for spill-cost depths, so the plan
+/// takes it over instead of rebuilding the CFG, dominators, and forest.
+/// When `reserve_stash` is set, one caller-saved branch register is
+/// withheld from the pools so a leaf function can stash its return
+/// address without memory traffic (the paper's `b[1]=b[7]` pattern in
+/// Figure 4).
+pub fn plan(
+    ir: &Function,
+    vf: &VFunc,
+    opts: &BrOptions,
+    reserve_stash: bool,
+    mut loops: LoopForest,
+) -> HoistPlan {
     if !opts.hoisting {
-        return plan;
+        return HoistPlan::default();
     }
     let (callee_pool, mut caller_pool) = opts.pools();
     if reserve_stash {
         caller_pool.pop();
     }
     if callee_pool.is_empty() && caller_pool.is_empty() {
-        return plan;
+        return HoistPlan::default();
     }
+    let mut plan = HoistPlan::with_blocks(ir.blocks.len());
 
-    let cfg = Cfg::new(ir);
-    let dom = Dominators::new(&cfg);
-    let mut loops = LoopForest::new(&cfg, &dom);
+    // Frequencies are estimated on the unmarked forest; `mark_calls`
+    // below only flags loops for the callee-save constraint.
     let freq = FreqEstimate::new(ir, &loops);
 
     // Which blocks contain calls (for the callee-save constraint).
@@ -89,21 +192,33 @@ pub fn plan(ir: &Function, vf: &VFunc, opts: &BrOptions, reserve_stash: bool) ->
     loops.mark_calls(&call_blocks);
 
     // ---- gather candidates: (loop, what) → (freq, blocks) ----
-    #[derive(Default)]
     struct Cand {
         freq: u64,
         blocks: Vec<u32>,
     }
-    let mut cands: HashMap<(usize, CalcKey), Cand> = HashMap::new();
+    // Keyed by loop index; a loop hosts only a handful of distinct
+    // targets, so a linear probe beats hashing.
+    let mut cands: Vec<Vec<(CalcKey, Cand)>> = (0..loops.loops.len()).map(|_| Vec::new()).collect();
     for (bid, block) in vf.iter_blocks() {
         let Some(li) = loops.innermost(bid) else {
             continue;
         };
         let f = freq.of(bid);
         let mut add = |key: CalcKey| {
-            let c = cands.entry((li, key)).or_default();
-            c.freq += f;
-            c.blocks.push(bid.0);
+            let list = &mut cands[li];
+            match list.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, c)) => {
+                    c.freq += f;
+                    c.blocks.push(bid.0);
+                }
+                None => list.push((
+                    key,
+                    Cand {
+                        freq: f,
+                        blocks: vec![bid.0],
+                    },
+                )),
+            }
         };
         match block.term() {
             VTerm::Jump(t) => add(CalcKey::Block(t.0)),
@@ -116,11 +231,15 @@ pub fn plan(ir: &Function, vf: &VFunc, opts: &BrOptions, reserve_stash: bool) ->
             }
         }
     }
-    let mut ordered: Vec<((usize, CalcKey), Cand)> = cands.into_iter().collect();
-    // The tie-break must be a *total* order over candidates: the list
-    // comes out of a HashMap, so any tie left unresolved would make the
-    // hoisting plan (and hence dynamic instruction counts) vary from
-    // process to process.
+    let mut ordered: Vec<((usize, CalcKey), Cand)> = cands
+        .into_iter()
+        .enumerate()
+        .flat_map(|(li, list)| list.into_iter().map(move |(k, c)| ((li, k), c)))
+        .collect();
+    // The tie-break must be a *total* order over candidates, so the
+    // hoisting plan (and hence dynamic instruction counts) cannot vary
+    // from process to process — and stays byte-for-byte what the seed's
+    // HashMap-gathered ordering produced.
     ordered.sort_by(|a, b| {
         b.1.freq
             .cmp(&a.1.freq)
@@ -133,17 +252,34 @@ pub fn plan(ir: &Function, vf: &VFunc, opts: &BrOptions, reserve_stash: bool) ->
     // preheader (where the calculation is placed). Two allocations
     // interfere when those regions intersect — checking bodies alone is
     // not enough: a sibling loop's preheader may sit inside another
-    // loop's body.
-    let region = |lvl: usize| -> std::collections::BTreeSet<u32> {
-        let mut s: std::collections::BTreeSet<u32> =
-            loops.loops[lvl].body.iter().map(|b| b.0).collect();
-        if let Some(ph) = loops.loops[lvl].preheader {
-            s.insert(ph.0);
-        }
-        s
-    };
-    let disjoint = |a: usize, b: usize| region(a).is_disjoint(&region(b));
-    let mut assigned: HashMap<u8, Vec<usize>> = HashMap::new();
+    // loop's body. Regions are precomputed per loop as block bitsets
+    // (the seed rebuilt BTreeSets per disjointness query).
+    let words = ir.blocks.len().div_ceil(64);
+    let region: Vec<Vec<u64>> = loops
+        .loops
+        .iter()
+        .map(|l| {
+            let mut r = vec![0u64; words];
+            for b in &l.body {
+                r[b.0 as usize / 64] |= 1 << (b.0 % 64);
+            }
+            if let Some(ph) = l.preheader {
+                r[ph.0 as usize / 64] |= 1 << (ph.0 % 64);
+            }
+            r
+        })
+        .collect();
+    let disjoint =
+        |a: usize, b: usize| region[a].iter().zip(&region[b]).all(|(x, y)| x & y == 0);
+    // Preference-ordered pools, materialized once.
+    let any_pool: Vec<u8> = caller_pool
+        .iter()
+        .chain(callee_pool.iter())
+        .copied()
+        .collect();
+    // Loops assigned per branch register, indexed by register number.
+    let max_breg = any_pool.iter().copied().max().unwrap_or(0) as usize;
+    let mut assigned: Vec<Vec<usize>> = vec![Vec::new(); max_breg + 1];
     for ((li, key), cand) in ordered {
         // Chain of loops from the innermost outward while preheaders exist.
         let mut chain = vec![li];
@@ -165,21 +301,15 @@ pub fn plan(ir: &Function, vf: &VFunc, opts: &BrOptions, reserve_stash: bool) ->
                 continue;
             }
             let needs_callee = loops.loops[lvl].has_call || matches!(key, CalcKey::Func(_));
-            let pool: Vec<u8> = if needs_callee {
-                callee_pool.clone()
+            let pool: &[u8] = if needs_callee {
+                &callee_pool
             } else {
-                caller_pool
-                    .iter()
-                    .chain(callee_pool.iter())
-                    .copied()
-                    .collect()
+                &any_pool
             };
-            let free = pool.into_iter().find(|b| {
-                assigned
-                    .get(b)
-                    .map(|ls| ls.iter().all(|&l| disjoint(l, lvl)))
-                    .unwrap_or(true)
-            });
+            let free = pool
+                .iter()
+                .copied()
+                .find(|&b| assigned[b as usize].iter().all(|&l| disjoint(l, lvl)));
             if let Some(b) = free {
                 choice = Some((lvl, b));
                 break;
@@ -191,7 +321,7 @@ pub fn plan(ir: &Function, vf: &VFunc, opts: &BrOptions, reserve_stash: bool) ->
         let Some(ph) = loops.loops[lvl].preheader else {
             continue; // chain candidates are preheader-checked; stay safe anyway
         };
-        assigned.entry(breg).or_default().push(lvl);
+        assigned[breg as usize].push(lvl);
         if callee_pool.contains(&breg) && !plan.used_callee.contains(&breg) {
             plan.used_callee.push(breg);
         }
@@ -199,32 +329,25 @@ pub fn plan(ir: &Function, vf: &VFunc, opts: &BrOptions, reserve_stash: bool) ->
             CalcKey::Block(t) => HoistedWhat::Block(*t),
             CalcKey::Func(f) => HoistedWhat::Func(f.clone()),
         };
-        plan.preheader
-            .entry(ph.0)
-            .or_default()
-            .push(Hoisted { breg, what });
+        plan.add_preheader(ph.0, Hoisted { breg, what });
         plan.count += 1;
         for b in cand.blocks {
             match &key {
-                CalcKey::Block(t) => {
-                    plan.target_breg.insert((b, *t), breg);
-                }
-                CalcKey::Func(f) => {
-                    plan.call_breg.insert((b, f.clone()), breg);
-                }
+                CalcKey::Block(t) => plan.set_target_breg(b, *t, breg),
+                CalcKey::Func(f) => plan.add_call_breg(b, f.clone(), breg),
             }
         }
     }
     plan.used_callee.sort_unstable();
 
     // ---- reserved registers per block (for scratch selection) ----
-    for (breg, ls) in &assigned {
+    for (breg, ls) in assigned.iter().enumerate() {
         for &l in ls {
             for b in &loops.loops[l].body {
-                plan.reserved_in.entry(b.0).or_default().push(*breg);
+                plan.add_reserved(b.0, breg as u8);
             }
             if let Some(ph) = loops.loops[l].preheader {
-                plan.reserved_in.entry(ph.0).or_default().push(*breg);
+                plan.add_reserved(ph.0, breg as u8);
             }
         }
     }
@@ -245,7 +368,10 @@ mod tests {
         let t = TargetSpec::for_machine(Machine::BranchReg);
         let mut pool = ConstPool::new();
         let vf = select(&m, f, &t, &mut pool).unwrap();
-        (plan(f, &vf, opts, false), vf)
+        let cfg = br_ir::Cfg::new(f);
+        let dom = br_ir::Dominators::new(&cfg);
+        let loops = LoopForest::new(&cfg, &dom);
+        (plan(f, &vf, opts, false, loops), vf)
     }
 
     #[test]
@@ -253,7 +379,7 @@ mod tests {
         let src = "int f(int n) { int s = 0; while (n > 0) { s += n; n--; } return s; }";
         let (p, _) = plan_for(src, "f", &BrOptions::default());
         assert!(p.count >= 1, "expected at least one hoisted calc: {p:?}");
-        assert!(!p.preheader.is_empty());
+        assert!(p.iter_hoisted().next().is_some());
         // No calls → caller-saved registers suffice.
         assert!(p.used_callee.is_empty());
     }
@@ -271,7 +397,9 @@ mod tests {
             "loop with a call must allocate callee-saved bregs: {p:?}"
         );
         // The call target itself should be hoisted.
-        assert!(p.call_breg.keys().any(|(_, f)| f == "g"));
+        assert!(p
+            .iter_hoisted()
+            .any(|h| matches!(&h.what, HoistedWhat::Func(f) if f == "g")));
     }
 
     #[test]
@@ -283,7 +411,7 @@ mod tests {
         };
         let (p, _) = plan_for(src, "f", &opts);
         assert_eq!(p.count, 0);
-        assert!(p.target_breg.is_empty());
+        assert!(p.iter_hoisted().next().is_none());
     }
 
     #[test]
@@ -300,7 +428,7 @@ mod tests {
         let (p, _) = plan_for(src, "f", &BrOptions::default());
         assert!(p.count >= 2, "inner and outer loop targets: {p:?}");
         // Registers assigned to overlapping (nested) loops must differ.
-        let regs: Vec<u8> = p.preheader.values().flatten().map(|h| h.breg).collect();
+        let regs: Vec<u8> = p.iter_hoisted().map(|h| h.breg).collect();
         let mut uniq = regs.clone();
         uniq.sort_unstable();
         uniq.dedup();

@@ -110,12 +110,176 @@ impl<E> From<CodegenError> for GatedError<E> {
     }
 }
 
+/// A module part-way through compilation: instruction selection has run
+/// (serially — the float constant pool is shared across functions, so
+/// selection order fixes the pool layout), leaving register allocation
+/// and emission, which are independent across functions, to
+/// [`ModuleBatch::compile_func`].
+///
+/// This split is what batched compilation fans across worker threads:
+/// `compile_func` takes `&self` and a `Fn` gate, so any number of
+/// threads may compile distinct functions concurrently, and the
+/// per-function outputs reassemble into a byte-identical module in
+/// [`ModuleBatch::finish`] regardless of completion order.
+pub struct ModuleBatch<'a> {
+    module: &'a Module,
+    machine: Machine,
+    base_opts: BaseOptions,
+    br_opts: BrOptions,
+    target: TargetSpec,
+    /// (index into `module.functions`, selected virtual code).
+    funcs: Vec<(usize, vcode::VFunc)>,
+    pool: isel::ConstPool,
+}
+
+/// Run the serial front half of codegen — the `Ir` gate and instruction
+/// selection for every function with a body, in module order — and
+/// return the batch of selected functions. The back half (allocation,
+/// emission, the `Regalloc` and `Emit` gates) runs per function through
+/// [`ModuleBatch::compile_func`].
+pub fn select_module_with<'a, E, G>(
+    module: &'a Module,
+    machine: Machine,
+    base_opts: BaseOptions,
+    br_opts: BrOptions,
+    gate: &mut G,
+) -> Result<ModuleBatch<'a>, GatedError<E>>
+where
+    G: FnMut(Stage<'_>) -> Result<(), E>,
+{
+    let target = TargetSpec::for_machine(machine);
+    let mut pool = isel::ConstPool::new();
+    let mut funcs = Vec::new();
+    for (fi, func) in module.functions.iter().enumerate() {
+        if func.blocks.is_empty() {
+            continue; // prototype without a body
+        }
+        gate(Stage::Ir { func }).map_err(GatedError::Gate)?;
+        let mut vf = isel::select(module, func, &target, &mut pool)?;
+        vf.max_out_args = baseline::compute_max_out_args(&vf, &target);
+        funcs.push((fi, vf));
+    }
+    Ok(ModuleBatch {
+        module,
+        machine,
+        base_opts,
+        br_opts,
+        target,
+        funcs,
+        pool,
+    })
+}
+
+/// [`select_module_with`] with a no-op gate.
+pub fn select_module(
+    module: &Module,
+    machine: Machine,
+    base_opts: BaseOptions,
+    br_opts: BrOptions,
+) -> Result<ModuleBatch<'_>, CodegenError> {
+    let mut no_gate = |_: Stage<'_>| Ok::<(), std::convert::Infallible>(());
+    select_module_with(module, machine, base_opts, br_opts, &mut no_gate).map_err(|e| match e {
+        GatedError::Codegen(c) => c,
+        GatedError::Gate(never) => match never {},
+    })
+}
+
+impl ModuleBatch<'_> {
+    /// Number of functions in the batch.
+    pub fn len(&self) -> usize {
+        self.funcs.len()
+    }
+
+    /// Whether the batch has no functions.
+    pub fn is_empty(&self) -> bool {
+        self.funcs.is_empty()
+    }
+
+    /// Register-allocate and emit function `i` of the batch, running the
+    /// `Regalloc` and `Emit` gates. Reads `&self` only (the selected
+    /// virtual code is cloned before the spill rewrite mutates it), so
+    /// distinct indices may run on distinct threads; the gate must be
+    /// `Fn` for the same reason.
+    pub fn compile_func<E, G>(
+        &self,
+        i: usize,
+        gate: &G,
+    ) -> Result<(AsmFunc, CodegenStats), GatedError<E>>
+    where
+        G: Fn(Stage<'_>) -> Result<(), E>,
+    {
+        let (fi, ref selected) = self.funcs[i];
+        let func = &self.module.functions[fi];
+        let mut vf = selected.clone();
+
+        // Loop depths for spill costs (and, on the BR machine, hoisting).
+        let cfg = Cfg::new(func);
+        let dom = Dominators::new(&cfg);
+        let loops = LoopForest::new(&cfg, &dom);
+        let depth: Vec<u32> = (0..func.blocks.len())
+            .map(|i| loops.depth(br_ir::BlockId(i as u32)))
+            .collect();
+
+        let alloc = regalloc::allocate(&mut vf, &self.target, &depth)?;
+        gate(Stage::Regalloc {
+            func,
+            vcode: &vf,
+            alloc: &alloc,
+            target: &self.target,
+        })
+        .map_err(GatedError::Gate)?;
+
+        let (afunc, fstats, plan) = match self.machine {
+            Machine::Baseline => {
+                let (a, s) = baseline::emit_baseline(&vf, &self.target, &alloc, self.base_opts)?;
+                (a, s, None)
+            }
+            Machine::BranchReg => {
+                let (a, s, p) =
+                    brmach::emit_brmach(func, &mut vf, &self.target, &alloc, self.br_opts, loops)?;
+                (a, s, Some(p))
+            }
+        };
+        gate(Stage::Emit {
+            func,
+            asm: &afunc,
+            machine: self.machine,
+            hoist: plan.as_ref(),
+            br_opts: self.br_opts,
+        })
+        .map_err(GatedError::Gate)?;
+        Ok((afunc, fstats))
+    }
+
+    /// Assemble the per-function outputs (one per batch function, in
+    /// batch order) plus the module's globals and constant pool into the
+    /// final compiled module.
+    pub fn finish(self, parts: Vec<(AsmFunc, CodegenStats)>) -> CompiledModule {
+        debug_assert_eq!(parts.len(), self.funcs.len());
+        let mut asm = AsmProgram::new(self.machine);
+        let mut stats = CodegenStats::default();
+        for (afunc, fstats) in parts {
+            stats.accumulate(&fstats);
+            asm.funcs.push(afunc);
+        }
+        asm.data = data::lower_globals(self.module);
+        asm.data.extend(data::lower_pool(self.pool.into_items()));
+        CompiledModule { asm, stats }
+    }
+}
+
 /// Compile `module` for `machine`, calling `gate` after every pipeline
 /// stage of every function. The gate sees the IR before selection, the
 /// virtual code after register allocation, and the assembly stream after
 /// emission; returning `Err` aborts compilation with
 /// [`GatedError::Gate`]. [`compile_module`] is this function with a
 /// no-op gate; the `br-verify` crate supplies checking gates.
+///
+/// Stage order: the `Ir` gates of *all* functions run first (during
+/// selection), then each function's `Regalloc` and `Emit` gates in
+/// module order — the serial schedule of the batched pipeline
+/// ([`select_module_with`] + [`ModuleBatch::compile_func`]), which this
+/// function is a thin wrapper over.
 pub fn compile_module_with<E, G>(
     module: &Module,
     machine: Machine,
@@ -126,61 +290,16 @@ pub fn compile_module_with<E, G>(
 where
     G: FnMut(Stage<'_>) -> Result<(), E>,
 {
-    let target = TargetSpec::for_machine(machine);
-    let mut pool = isel::ConstPool::new();
-    let mut asm = AsmProgram::new(machine);
-    let mut stats = CodegenStats::default();
-
-    for func in &module.functions {
-        if func.blocks.is_empty() {
-            continue; // prototype without a body
-        }
-        gate(Stage::Ir { func }).map_err(GatedError::Gate)?;
-        let mut vf = isel::select(module, func, &target, &mut pool)?;
-        vf.max_out_args = baseline::compute_max_out_args(&vf, &target);
-
-        // Loop depths for spill costs (and, on the BR machine, hoisting).
-        let cfg = Cfg::new(func);
-        let dom = Dominators::new(&cfg);
-        let loops = LoopForest::new(&cfg, &dom);
-        let depth: Vec<u32> = (0..func.blocks.len())
-            .map(|i| loops.depth(br_ir::BlockId(i as u32)))
-            .collect();
-
-        let alloc = regalloc::allocate(&mut vf, &target, &depth)?;
-        gate(Stage::Regalloc {
-            func,
-            vcode: &vf,
-            alloc: &alloc,
-            target: &target,
-        })
-        .map_err(GatedError::Gate)?;
-
-        let (afunc, fstats, plan) = match machine {
-            Machine::Baseline => {
-                let (a, s) = baseline::emit_baseline(&vf, &target, &alloc, base_opts)?;
-                (a, s, None)
-            }
-            Machine::BranchReg => {
-                let (a, s, p) = brmach::emit_brmach(func, &mut vf, &target, &alloc, br_opts)?;
-                (a, s, Some(p))
-            }
-        };
-        gate(Stage::Emit {
-            func,
-            asm: &afunc,
-            machine,
-            hoist: plan.as_ref(),
-            br_opts,
-        })
-        .map_err(GatedError::Gate)?;
-        stats.accumulate(&fstats);
-        asm.funcs.push(afunc);
+    let batch = select_module_with(module, machine, base_opts, br_opts, gate)?;
+    // compile_func wants a shared `Fn` gate (it is thread-safe); adapt
+    // the serial caller's `FnMut` through a RefCell.
+    let cell = std::cell::RefCell::new(gate);
+    let shared = |s: Stage<'_>| -> Result<(), E> { (cell.borrow_mut())(s) };
+    let mut parts = Vec::with_capacity(batch.len());
+    for i in 0..batch.len() {
+        parts.push(batch.compile_func(i, &shared)?);
     }
-
-    asm.data = data::lower_globals(module);
-    asm.data.extend(data::lower_pool(pool.into_items()));
-    Ok(CompiledModule { asm, stats })
+    Ok(batch.finish(parts))
 }
 
 /// Compile `module` for `machine`.

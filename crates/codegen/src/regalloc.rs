@@ -6,13 +6,116 @@
 //! the paper's compiler uses for its branch-frequency ordering, so the
 //! registers (data *and*, later, branch) go to the innermost loops first.
 
-use std::collections::HashSet;
-
 use br_ir::{BlockId, RegClass};
 
 use crate::error::CodegenError;
 use crate::target::TargetSpec;
 use crate::vcode::{FrameRef, VBlock, VFunc, VInst, VR};
+
+/// Dense bitset keyed by vreg index — the vcode twin of `br_ir`'s
+/// `RegSet`. Sets are sized once per allocation round (the vreg count is
+/// fixed within a round; spill rewriting grows it *between* rounds).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct VrSet {
+    bits: Vec<u64>,
+}
+
+impl VrSet {
+    /// Empty set sized for `n` vregs.
+    fn new(n: usize) -> VrSet {
+        VrSet {
+            bits: vec![0; n.div_ceil(64)],
+        }
+    }
+
+    fn insert(&mut self, v: VR) {
+        self.bits[v as usize / 64] |= 1 << (v % 64);
+    }
+
+    fn remove(&mut self, v: VR) {
+        self.bits[v as usize / 64] &= !(1 << (v % 64));
+    }
+
+    /// Iterate over members in ascending vreg order.
+    fn iter(&self) -> BitIter<'_> {
+        iter_bits(&self.bits)
+    }
+}
+
+/// Iterate the set bits of a bitset row in ascending order, one
+/// `trailing_zeros` per member rather than one test per bit position.
+fn iter_bits(words: &[u64]) -> BitIter<'_> {
+    BitIter {
+        words,
+        w: 0,
+        cur: words.first().copied().unwrap_or(0),
+    }
+}
+
+struct BitIter<'a> {
+    words: &'a [u64],
+    w: usize,
+    cur: u64,
+}
+
+impl Iterator for BitIter<'_> {
+    type Item = VR;
+
+    fn next(&mut self) -> Option<VR> {
+        while self.cur == 0 {
+            self.w += 1;
+            if self.w >= self.words.len() {
+                return None;
+            }
+            self.cur = self.words[self.w];
+        }
+        let b = self.cur.trailing_zeros() as usize;
+        self.cur &= self.cur - 1;
+        Some((self.w * 64 + b) as VR)
+    }
+}
+
+/// Dense bit matrix: `rows` rows of `cols` bits in one flat allocation.
+/// The allocator's per-block and per-vreg set families (`gen`/`kill`/
+/// `live_in`/`live_out`, interference adjacency) live here — a
+/// `Vec<VrSet>` layout pays one heap allocation per row, which dominates
+/// allocation time on the many small functions of a typical module.
+struct BitMatrix {
+    /// Words per row.
+    wpr: usize,
+    bits: Vec<u64>,
+}
+
+impl BitMatrix {
+    fn new(rows: usize, cols: usize) -> BitMatrix {
+        let wpr = cols.div_ceil(64);
+        BitMatrix {
+            wpr,
+            bits: vec![0; rows * wpr],
+        }
+    }
+
+    fn row(&self, r: usize) -> &[u64] {
+        &self.bits[r * self.wpr..(r + 1) * self.wpr]
+    }
+
+    fn insert(&mut self, r: usize, c: VR) {
+        self.bits[r * self.wpr + c as usize / 64] |= 1 << (c % 64);
+    }
+
+    fn contains(&self, r: usize, c: VR) -> bool {
+        self.bits[r * self.wpr + c as usize / 64] & (1 << (c % 64)) != 0
+    }
+
+    /// `self[dst] |= other[src]`, word-parallel.
+    fn union_row_from(&mut self, dst: usize, other: &BitMatrix, src: usize) {
+        let d = dst * self.wpr;
+        let s = src * other.wpr;
+        for w in 0..self.wpr {
+            self.bits[d + w] |= other.bits[s + w];
+        }
+    }
+}
 
 /// Result of register allocation for one function.
 #[derive(Debug, Clone)]
@@ -39,67 +142,128 @@ impl Allocation {
     }
 }
 
-/// Block-level liveness over a [`VFunc`] (only the out-sets are needed
-/// by the interference builder).
+/// Block-level liveness over a [`VFunc`] (row = block, column = vreg).
 struct VLiveness {
-    live_out: Vec<HashSet<VR>>,
+    live_in: BitMatrix,
+    live_out: BitMatrix,
+}
+
+/// Postorder over the successor graph from block 0, with any
+/// unreachable blocks appended in index order. Processing blocks in
+/// this sequence visits successors before predecessors — the fast
+/// direction for a backward data-flow problem — and covers *every*
+/// block, reachable or not, because [`build_graph`] reads the live-out
+/// of all of them.
+fn postorder_all(nb: usize, succs: &[Vec<BlockId>]) -> Vec<u32> {
+    let mut seen = vec![false; nb];
+    let mut out: Vec<u32> = Vec::with_capacity(nb);
+    if nb > 0 {
+        let mut stack: Vec<(u32, usize)> = vec![(0, 0)];
+        seen[0] = true;
+        while let Some(top) = stack.last_mut() {
+            let ss = &succs[top.0 as usize];
+            if top.1 < ss.len() {
+                let s = ss[top.1].0;
+                top.1 += 1;
+                if !seen[s as usize] {
+                    seen[s as usize] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                out.push(top.0);
+                stack.pop();
+            }
+        }
+    }
+    for (b, s) in seen.iter().enumerate() {
+        if !s {
+            out.push(b as u32);
+        }
+    }
+    out
 }
 
 fn compute_liveness(f: &VFunc) -> VLiveness {
-    let n = f.blocks.len();
-    let mut gen = vec![HashSet::new(); n];
-    let mut kill = vec![HashSet::new(); n];
+    let nb = f.blocks.len();
+    let nv = f.classes.len();
+    let mut gen = BitMatrix::new(nb, nv);
+    let mut kill = BitMatrix::new(nb, nv);
     let mut uses = Vec::new();
     for (i, b) in f.blocks.iter().enumerate() {
         for inst in &b.insts {
             uses.clear();
             inst.uses(&mut uses);
             for &u in &uses {
-                if !kill[i].contains(&u) {
-                    gen[i].insert(u);
+                if !kill.contains(i, u) {
+                    gen.insert(i, u);
                 }
             }
             if let Some(d) = inst.def() {
-                kill[i].insert(d);
+                kill.insert(i, d);
             }
         }
         uses.clear();
         b.term().uses(&mut uses);
         for &u in &uses {
-            if !kill[i].contains(&u) {
-                gen[i].insert(u);
+            if !kill.contains(i, u) {
+                gen.insert(i, u);
             }
         }
     }
     let succs: Vec<Vec<BlockId>> = f.blocks.iter().map(|b| b.term().successors()).collect();
-    let mut live_in = vec![HashSet::new(); n];
-    let mut live_out: Vec<HashSet<VR>> = vec![HashSet::new(); n];
-    let mut changed = true;
-    while changed {
-        changed = false;
-        for i in (0..n).rev() {
-            let mut out: HashSet<VR> = HashSet::new();
-            for s in &succs[i] {
-                out.extend(live_in[s.0 as usize].iter().copied());
-            }
-            let mut inn = out.clone();
-            for k in &kill[i] {
-                inn.remove(k);
-            }
-            inn.extend(gen[i].iter().copied());
-            if out != live_out[i] || inn != live_in[i] {
-                live_out[i] = out;
-                live_in[i] = inn;
+    let mut preds: Vec<Vec<u32>> = vec![Vec::new(); nb];
+    for (i, ss) in succs.iter().enumerate() {
+        for s in ss {
+            preds[s.0 as usize].push(i as u32);
+        }
+    }
+
+    // Worklist fixpoint. The sets only grow, and the least fixpoint is
+    // unique, so visiting order affects speed but never the result —
+    // the seed implementation's whole-program sweeps computed exactly
+    // these sets.
+    let mut live_in = BitMatrix::new(nb, nv);
+    let mut live_out = BitMatrix::new(nb, nv);
+    let wpr = live_in.wpr;
+    let order = postorder_all(nb, &succs);
+    let mut on_list = vec![true; nb];
+    // Stack; seeded reversed so blocks pop in postorder sequence.
+    let mut work: Vec<u32> = order.iter().rev().copied().collect();
+    while let Some(i) = work.pop() {
+        let i = i as usize;
+        on_list[i] = false;
+        // live_out[i] = ∪ live_in[succ] (monotone: only ever grows; a
+        // self-loop reads the current in-set, and the block re-queues
+        // via preds when live_in[i] changes, so it needs no special
+        // case).
+        for s in &succs[i] {
+            live_out.union_row_from(i, &live_in, s.0 as usize);
+        }
+        // live_in[i] = gen[i] ∪ (live_out[i] − kill[i]), word-parallel.
+        let mut changed = false;
+        let base = i * wpr;
+        for w in base..base + wpr {
+            let new = gen.bits[w] | (live_out.bits[w] & !kill.bits[w]);
+            if new != live_in.bits[w] {
+                live_in.bits[w] = new;
                 changed = true;
             }
         }
+        if changed {
+            for &p in &preds[i] {
+                if !on_list[p as usize] {
+                    on_list[p as usize] = true;
+                    work.push(p);
+                }
+            }
+        }
     }
-    VLiveness { live_out }
+    VLiveness { live_in, live_out }
 }
 
-/// Interference graph (adjacency sets) plus across-call markers.
+/// Interference graph (adjacency bit matrix) plus across-call markers.
 struct Graph {
-    adj: Vec<HashSet<VR>>,
+    adj: BitMatrix,
     across_call: Vec<bool>,
     cost: Vec<u64>,
 }
@@ -107,26 +271,28 @@ struct Graph {
 fn build_graph(f: &VFunc, lv: &VLiveness, depth: &[u32]) -> Graph {
     let n = f.classes.len();
     let mut g = Graph {
-        adj: vec![HashSet::new(); n],
+        adj: BitMatrix::new(n, n),
         across_call: vec![false; n],
         cost: vec![0; n],
     };
-    let add_edge = |g: &mut Graph, a: VR, b: VR| {
+    let add_edge = |adj: &mut BitMatrix, a: VR, b: VR| {
         if a != b && f.class_of(a) == f.class_of(b) {
-            g.adj[a as usize].insert(b);
-            g.adj[b as usize].insert(a);
+            adj.insert(a as usize, b);
+            adj.insert(b as usize, a);
         }
     };
     // Parameters are defined "simultaneously" at entry.
     for i in 0..f.params.len() {
         for j in i + 1..f.params.len() {
-            add_edge(&mut g, f.params[i].0, f.params[j].0);
+            add_edge(&mut g.adj, f.params[i].0, f.params[j].0);
         }
     }
     let mut uses = Vec::new();
+    // One working set reused across blocks (no per-block clone).
+    let mut live = VrSet::new(n);
     for (bi, b) in f.blocks.iter().enumerate() {
         let w = 10u64.pow(depth.get(bi).copied().unwrap_or(0).min(9));
-        let mut live: HashSet<VR> = lv.live_out[bi].clone();
+        live.bits.copy_from_slice(lv.live_out.row(bi));
         uses.clear();
         b.term().uses(&mut uses);
         for &u in &uses {
@@ -136,21 +302,21 @@ fn build_graph(f: &VFunc, lv: &VLiveness, depth: &[u32]) -> Graph {
         for inst in b.insts.iter().rev() {
             if let Some(d) = inst.def() {
                 g.cost[d as usize] += w;
-                live.remove(&d);
+                live.remove(d);
                 // Move sources don't interfere with the destination
                 // (enables natural coalescing by same-color assignment).
                 let move_src = match inst {
                     VInst::Mov { src, .. } | VInst::FMov { src, .. } => Some(*src),
                     _ => None,
                 };
-                for &l in &live {
+                for l in live.iter() {
                     if Some(l) != move_src {
-                        add_edge(&mut g, d, l);
+                        add_edge(&mut g.adj, d, l);
                     }
                 }
             }
             if inst.is_call() {
-                for &l in &live {
+                for l in live.iter() {
                     g.across_call[l as usize] = true;
                 }
             }
@@ -198,24 +364,37 @@ pub fn allocate(
 /// Attempt to color; on failure return the set of vregs to spill.
 fn try_color(f: &VFunc, target: &TargetSpec, g: &Graph) -> Result<Allocation, Vec<VR>> {
     let n = f.classes.len();
-    // Available colors per node.
-    let avail = |v: VR| -> Vec<u8> {
-        let (caller_nums, callee_nums): (Vec<u8>, Vec<u8>) = match f.class_of(v) {
-            RegClass::Int => (
-                target.int_caller.iter().map(|r| r.0).collect(),
-                target.int_callee.iter().map(|r| r.0).collect(),
-            ),
-            RegClass::Float => (target.float_caller.clone(), target.float_callee.clone()),
-        };
-        if g.across_call[v as usize] {
-            callee_nums
-        } else {
-            // Prefer caller-saved (free), fall back to callee-saved.
-            caller_nums.into_iter().chain(callee_nums).collect()
+    // Preference-ordered color pools, one per (class, across-call)
+    // combination, materialized once per coloring attempt instead of a
+    // fresh Vec per query. Order matches the seed implementation:
+    // caller-saved first (free), callee-saved fallback; across-call
+    // nodes are restricted to callee-saved.
+    let int_callee: Vec<u8> = target.int_callee.iter().map(|r| r.0).collect();
+    let int_any: Vec<u8> = target
+        .int_caller
+        .iter()
+        .map(|r| r.0)
+        .chain(int_callee.iter().copied())
+        .collect();
+    let float_callee: Vec<u8> = target.float_callee.clone();
+    let float_any: Vec<u8> = target
+        .float_caller
+        .iter()
+        .chain(float_callee.iter())
+        .copied()
+        .collect();
+    let avail = |v: VR| -> &[u8] {
+        match (f.class_of(v), g.across_call[v as usize]) {
+            (RegClass::Int, true) => &int_callee,
+            (RegClass::Int, false) => &int_any,
+            (RegClass::Float, true) => &float_callee,
+            (RegClass::Float, false) => &float_any,
         }
     };
 
-    let mut degree: Vec<usize> = g.adj.iter().map(|s| s.len()).collect();
+    let row_count =
+        |r: &[u64]| -> usize { r.iter().map(|w| w.count_ones() as usize).sum() };
+    let mut degree: Vec<usize> = (0..n).map(|v| row_count(g.adj.row(v))).collect();
     let mut removed = vec![false; n];
     let mut stack: Vec<(VR, bool)> = Vec::new(); // (vreg, may_spill)
     let mut remaining: usize = n;
@@ -247,7 +426,7 @@ fn try_color(f: &VFunc, target: &TargetSpec, g: &Graph) -> Result<Allocation, Ve
         let (v, may_spill) = picked.expect("nonempty");
         removed[v as usize] = true;
         remaining -= 1;
-        for &w in &g.adj[v as usize] {
+        for w in iter_bits(g.adj.row(v as usize)) {
             if !removed[w as usize] {
                 degree[w as usize] -= 1;
             }
@@ -258,19 +437,21 @@ fn try_color(f: &VFunc, target: &TargetSpec, g: &Graph) -> Result<Allocation, Ve
     let mut assign: Vec<Option<u8>> = vec![None; n];
     let mut spilled: Vec<VR> = Vec::new();
     while let Some((v, may_spill)) = stack.pop() {
-        let mut taken: HashSet<u8> = HashSet::new();
-        for &w in &g.adj[v as usize] {
+        // Physical register numbers on both machines fit in 0..32, so
+        // the taken-color set is one machine word.
+        let mut taken: u64 = 0;
+        for w in iter_bits(g.adj.row(v as usize)) {
             if let Some(c) = assign[w as usize] {
-                taken.insert(c);
+                taken |= 1 << c;
             }
         }
         // Color-preference: reuse the source color of a move when free
         // would require move metadata; keep it simple and take the first
         // free color in preference order.
-        match avail(v).into_iter().find(|c| !taken.contains(c)) {
-            Some(c) => assign[v as usize] = Some(c),
+        match avail(v).iter().find(|&&c| taken & (1 << c) == 0) {
+            Some(&c) => assign[v as usize] = Some(c),
             None => {
-                debug_assert!(may_spill || g.adj[v as usize].len() >= avail(v).len());
+                debug_assert!(may_spill || row_count(g.adj.row(v as usize)) >= avail(v).len());
                 spilled.push(v);
             }
         }
@@ -462,6 +643,194 @@ fn substitute_def(inst: &mut VInst, from: VR, to: VR) {
     }
 }
 
+/// Order-independent view of the dataflow facts feeding the allocator:
+/// per-block live-in/live-out (sorted vreg lists), interference edges
+/// (sorted, deduped, `a < b`), across-call markers, and spill costs.
+///
+/// Produced by both [`dataflow_snapshot`] (the production bitset
+/// implementation) and [`reference::snapshot`] (the retained `HashSet`
+/// seed implementation) so differential tests can assert the two agree
+/// bit for bit on arbitrary programs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataflowSnapshot {
+    pub live_in: Vec<Vec<VR>>,
+    pub live_out: Vec<Vec<VR>>,
+    pub edges: Vec<(VR, VR)>,
+    pub across_call: Vec<bool>,
+    pub cost: Vec<u64>,
+}
+
+/// Snapshot the production (dense bitset, worklist) dataflow for `f`.
+pub fn dataflow_snapshot(f: &VFunc, depth: &[u32]) -> DataflowSnapshot {
+    let lv = compute_liveness(f);
+    let g = build_graph(f, &lv, depth);
+    let n = f.classes.len();
+    let nb = f.blocks.len();
+    let mut edges = Vec::new();
+    for v in 0..n {
+        for w in iter_bits(g.adj.row(v)) {
+            if (v as VR) < w {
+                edges.push((v as VR, w));
+            }
+        }
+    }
+    DataflowSnapshot {
+        live_in: (0..nb).map(|i| iter_bits(lv.live_in.row(i)).collect()).collect(),
+        live_out: (0..nb).map(|i| iter_bits(lv.live_out.row(i)).collect()).collect(),
+        edges,
+        across_call: g.across_call,
+        cost: g.cost,
+    }
+}
+
+/// The seed `HashSet` dataflow, retained verbatim as a differential
+/// oracle for the bitset fast path. Not used by compilation.
+pub mod reference {
+    use std::collections::HashSet;
+
+    use br_ir::BlockId;
+
+    use super::{DataflowSnapshot, VFunc, VInst, VR};
+
+    /// Snapshot the reference dataflow for `f` (same shape as
+    /// [`super::dataflow_snapshot`]).
+    pub fn snapshot(f: &VFunc, depth: &[u32]) -> DataflowSnapshot {
+        let (live_in, live_out) = liveness(f);
+        let n = f.classes.len();
+        let mut adj: Vec<HashSet<VR>> = vec![HashSet::new(); n];
+        let mut across_call = vec![false; n];
+        let mut cost = vec![0u64; n];
+        let add_edge = |adj: &mut [HashSet<VR>], a: VR, b: VR| {
+            if a != b && f.class_of(a) == f.class_of(b) {
+                adj[a as usize].insert(b);
+                adj[b as usize].insert(a);
+            }
+        };
+        for i in 0..f.params.len() {
+            for j in i + 1..f.params.len() {
+                add_edge(&mut adj, f.params[i].0, f.params[j].0);
+            }
+        }
+        let mut uses = Vec::new();
+        for (bi, b) in f.blocks.iter().enumerate() {
+            let w = 10u64.pow(depth.get(bi).copied().unwrap_or(0).min(9));
+            let mut live: HashSet<VR> = live_out[bi].iter().copied().collect();
+            uses.clear();
+            b.term().uses(&mut uses);
+            for &u in &uses {
+                cost[u as usize] += w;
+                live.insert(u);
+            }
+            for inst in b.insts.iter().rev() {
+                if let Some(d) = inst.def() {
+                    cost[d as usize] += w;
+                    live.remove(&d);
+                    let move_src = match inst {
+                        VInst::Mov { src, .. } | VInst::FMov { src, .. } => Some(*src),
+                        _ => None,
+                    };
+                    for &l in &live {
+                        if Some(l) != move_src {
+                            add_edge(&mut adj, d, l);
+                        }
+                    }
+                }
+                if inst.is_call() {
+                    for &l in &live {
+                        across_call[l as usize] = true;
+                    }
+                }
+                uses.clear();
+                inst.uses(&mut uses);
+                for &u in &uses {
+                    cost[u as usize] += w;
+                    live.insert(u);
+                }
+            }
+        }
+        let mut edges = Vec::new();
+        for (v, s) in adj.iter().enumerate() {
+            for &w in s {
+                if (v as VR) < w {
+                    edges.push((v as VR, w));
+                }
+            }
+        }
+        edges.sort_unstable();
+        DataflowSnapshot {
+            live_in,
+            live_out,
+            edges,
+            across_call,
+            cost,
+        }
+    }
+
+    /// The seed whole-program-sweep liveness, returning sorted vreg
+    /// lists per block.
+    #[allow(clippy::type_complexity)]
+    fn liveness(f: &VFunc) -> (Vec<Vec<VR>>, Vec<Vec<VR>>) {
+        let n = f.blocks.len();
+        let mut gen = vec![HashSet::new(); n];
+        let mut kill = vec![HashSet::new(); n];
+        let mut uses = Vec::new();
+        for (i, b) in f.blocks.iter().enumerate() {
+            for inst in &b.insts {
+                uses.clear();
+                inst.uses(&mut uses);
+                for &u in &uses {
+                    if !kill[i].contains(&u) {
+                        gen[i].insert(u);
+                    }
+                }
+                if let Some(d) = inst.def() {
+                    kill[i].insert(d);
+                }
+            }
+            uses.clear();
+            b.term().uses(&mut uses);
+            for &u in &uses {
+                if !kill[i].contains(&u) {
+                    gen[i].insert(u);
+                }
+            }
+        }
+        let succs: Vec<Vec<BlockId>> = f.blocks.iter().map(|b| b.term().successors()).collect();
+        let mut live_in: Vec<HashSet<VR>> = vec![HashSet::new(); n];
+        let mut live_out: Vec<HashSet<VR>> = vec![HashSet::new(); n];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for i in (0..n).rev() {
+                let mut out: HashSet<VR> = HashSet::new();
+                for s in &succs[i] {
+                    out.extend(live_in[s.0 as usize].iter().copied());
+                }
+                let mut inn = out.clone();
+                for k in &kill[i] {
+                    inn.remove(k);
+                }
+                inn.extend(gen[i].iter().copied());
+                if out != live_out[i] || inn != live_in[i] {
+                    live_out[i] = out;
+                    live_in[i] = inn;
+                    changed = true;
+                }
+            }
+        }
+        let sorted = |sets: Vec<HashSet<VR>>| -> Vec<Vec<VR>> {
+            sets.into_iter()
+                .map(|s| {
+                    let mut v: Vec<VR> = s.into_iter().collect();
+                    v.sort_unstable();
+                    v
+                })
+                .collect()
+        };
+        (sorted(live_in), sorted(live_out))
+    }
+}
+
 fn substitute_term(term: &mut crate::vcode::VTerm, from: VR, to: VR) {
     use crate::vcode::{VSrc, VTerm};
     match term {
@@ -506,7 +875,7 @@ mod tests {
         let depth = vec![0; f.blocks.len()];
         let g = build_graph(f, &lv, &depth);
         for v in 0..f.classes.len() as VR {
-            for &w in &g.adj[v as usize] {
+            for w in iter_bits(g.adj.row(v as usize)) {
                 let (cv, cw) = (a.assign[v as usize], a.assign[w as usize]);
                 if let (Some(cv), Some(cw)) = (cv, cw) {
                     assert!(
@@ -514,6 +883,68 @@ mod tests {
                         "interfering vregs {v} and {w} share register {cv}"
                     );
                 }
+            }
+        }
+    }
+
+    /// The taken-color bitmask must preserve the seed behaviour: colors
+    /// are picked first-free in preference order (caller-saved pool in
+    /// target order, then callee-saved). Chained adds keep every
+    /// intermediate live, so successive vregs walk the preference list.
+    #[test]
+    fn register_choice_follows_preference_order() {
+        let src = "int f(int a, int b, int c, int d) {
+            int e = a + b; int g = e + c; int h = g + d;
+            return h + e + g + a;
+        }";
+        let (vf, a) = alloc_for(src, "f", Machine::Baseline);
+        check_valid(&vf, &a);
+        let t = TargetSpec::for_machine(Machine::Baseline);
+        let pref: Vec<u8> = t.int_caller.iter().map(|r| r.0).collect();
+        // No calls: every assigned register must come from the
+        // caller-saved pool, and the set used must be a prefix of the
+        // preference order (first-free semantics never skips a color
+        // while a later one is in use).
+        let mut used: Vec<u8> = a.assign.iter().flatten().copied().collect();
+        used.sort_unstable();
+        used.dedup();
+        assert!(!used.is_empty());
+        let mut prefix: Vec<u8> = pref[..used.len()].to_vec();
+        prefix.sort_unstable();
+        assert_eq!(used, prefix, "colors used are not a preference-order prefix");
+    }
+
+    /// The dense bitset dataflow must agree with the retained HashSet
+    /// reference on a function with loops, calls, floats, and spills.
+    #[test]
+    fn bitset_dataflow_matches_reference() {
+        let src = r#"
+            int g(int x) { return x + 1; }
+            float h(float x) { return x * 2.0; }
+            int f(int a, int b) {
+                int s = 0;
+                float fs = 0.0;
+                for (int i = 0; i < a; i++) {
+                    s += g(i) * b;
+                    fs = fs + h(1.5);
+                    for (int j = 0; j < b; j++) s += j;
+                }
+                return s + (int)fs;
+            }
+        "#;
+        let m = compile(src).unwrap();
+        for machine in [Machine::Baseline, Machine::BranchReg] {
+            let t = TargetSpec::for_machine(machine);
+            let mut pool = ConstPool::new();
+            for name in ["g", "h", "f"] {
+                let f = m.function(name).unwrap();
+                let vf = select(&m, f, &t, &mut pool).unwrap();
+                let depth: Vec<u32> = (0..vf.blocks.len() as u32).map(|b| b % 3).collect();
+                assert_eq!(
+                    dataflow_snapshot(&vf, &depth),
+                    super::reference::snapshot(&vf, &depth),
+                    "bitset dataflow diverged from reference on {name} ({machine:?})"
+                );
             }
         }
     }

@@ -182,6 +182,13 @@ pub struct Experiment {
     /// branch-register protocol lint) after every compilation stage.
     /// Defaults to on in debug builds, off in release builds.
     pub verify: bool,
+    /// Worker threads for batched function compilation: register
+    /// allocation and emission fan across `jobs` threads per module
+    /// (`0` = auto-detect, `1` = serial, the default). Output is
+    /// byte-identical at every level — instruction selection stays
+    /// serial so the shared constant pool keeps its layout, and
+    /// per-function results reassemble in module order.
+    pub jobs: usize,
 }
 
 impl Default for Experiment {
@@ -191,6 +198,7 @@ impl Default for Experiment {
             br_opts: BrOptions::default(),
             fuel: 4_000_000_000,
             verify: cfg!(debug_assertions),
+            jobs: 1,
         }
     }
 }
@@ -208,18 +216,91 @@ impl Experiment {
     /// Front-end, code-generation, or assembler errors.
     pub fn compile(&self, src: &str, machine: Machine) -> Result<(Program, CodegenStats), Error> {
         let module = br_frontend::compile(src)?;
-        let out = if self.verify {
-            br_verify::compile_module_verified(&module, machine, self.base_opts, self.br_opts)
-                .map_err(CompileError::from)?
-        } else {
-            br_codegen::compile_module(&module, machine, self.base_opts, self.br_opts)
-                .map_err(CompileError::from)?
-        };
+        self.compile_module_for(&module, machine)
+    }
+
+    /// Compile an already-lowered IR module for one machine, batching
+    /// per-function register allocation and emission across
+    /// [`Experiment::jobs`] worker threads. The front end is machine-
+    /// independent, so callers targeting both machines should lower once
+    /// and call this twice rather than calling [`Experiment::compile`]
+    /// with the same source twice.
+    ///
+    /// # Errors
+    ///
+    /// Code-generation, verification, or assembler errors. With multiple
+    /// failing functions, the reported error is the earliest by pipeline
+    /// stage then module order (selection errors of any function before
+    /// allocation/emission errors of any function) — the same at every
+    /// `jobs` level.
+    pub fn compile_module_for(
+        &self,
+        module: &br_ir::Module,
+        machine: Machine,
+    ) -> Result<(Program, CodegenStats), Error> {
+        let out = self.codegen(module, machine)?;
         let prog = out
             .asm
             .assemble()
             .map_err(|e| CompileError::Asm(e.to_string()))?;
         Ok((prog, out.stats))
+    }
+
+    fn codegen(
+        &self,
+        module: &br_ir::Module,
+        machine: Machine,
+    ) -> Result<br_codegen::CompiledModule, CompileError> {
+        use br_codegen::GatedError;
+        if self.verify {
+            let to_compile = |e| match e {
+                GatedError::Codegen(c) => CompileError::Codegen(c),
+                GatedError::Gate(v) => CompileError::Verify(v),
+            };
+            let mut gate = br_verify::check_stage;
+            let batch = br_codegen::select_module_with(
+                module,
+                machine,
+                self.base_opts,
+                self.br_opts,
+                &mut gate,
+            )
+            .map_err(to_compile)?;
+            self.finish_batch(batch, &br_verify::check_stage)
+                .map_err(to_compile)
+        } else {
+            let batch =
+                br_codegen::select_module(module, machine, self.base_opts, self.br_opts)?;
+            let no_gate = |_: br_codegen::Stage<'_>| Ok::<(), std::convert::Infallible>(());
+            self.finish_batch(batch, &no_gate).map_err(|e| match e {
+                GatedError::Codegen(c) => CompileError::Codegen(c),
+                GatedError::Gate(never) => match never {},
+            })
+        }
+    }
+
+    /// Fan the back half of codegen (allocation + emission) across
+    /// `self.jobs` threads and reassemble. `map_ordered` returns results
+    /// in function order, so both the assembled module and the
+    /// first-error choice are deterministic at every jobs level.
+    fn finish_batch<E, G>(
+        &self,
+        batch: br_codegen::ModuleBatch<'_>,
+        gate: &G,
+    ) -> Result<br_codegen::CompiledModule, br_codegen::GatedError<E>>
+    where
+        G: Fn(br_codegen::Stage<'_>) -> Result<(), E> + Sync,
+        E: Send,
+    {
+        let indices: Vec<usize> = (0..batch.len()).collect();
+        let parts = parallel::map_ordered(&indices, self.jobs, |_, &i| {
+            batch.compile_func(i, gate)
+        });
+        let mut ok = Vec::with_capacity(parts.len());
+        for p in parts {
+            ok.push(p?);
+        }
+        Ok(batch.finish(ok))
     }
 
     /// Compile and run on one machine.
@@ -228,7 +309,13 @@ impl Experiment {
     ///
     /// Any pipeline error.
     pub fn run(&self, src: &str, machine: Machine) -> Result<RunResult, Error> {
-        let (prog, stats) = self.compile(src, machine)?;
+        let module = br_frontend::compile(src)?;
+        self.run_module(&module, machine)
+    }
+
+    /// Compile an already-lowered module and run it on one machine.
+    fn run_module(&self, module: &br_ir::Module, machine: Machine) -> Result<RunResult, Error> {
+        let (prog, stats) = self.compile_module_for(module, machine)?;
         let mut emu = br_emu::Emulator::new(&prog);
         let exit = emu.run(self.fuel)?;
         Ok(RunResult {
@@ -272,8 +359,10 @@ impl Experiment {
     /// Any pipeline error, or [`Error::Mismatch`] when the machines
     /// disagree.
     pub fn run_comparison(&self, name: &str, src: &str) -> Result<ProgramComparison, Error> {
-        let baseline = self.run(src, Machine::Baseline)?;
-        let brmach = self.run(src, Machine::BranchReg)?;
+        // The front end is machine-independent: lower once, codegen twice.
+        let module = br_frontend::compile(src)?;
+        let baseline = self.run_module(&module, Machine::Baseline)?;
+        let brmach = self.run_module(&module, Machine::BranchReg)?;
         if baseline.exit != brmach.exit {
             return Err(Error::Mismatch {
                 name: name.to_string(),

@@ -601,48 +601,10 @@ impl<'a> FnLower<'a> {
     /// Lower `e` as a branch condition targeting `then_bb` / `else_bb`.
     fn cond(&mut self, e: &Expr, then_bb: BlockId, else_bb: BlockId) -> Result<(), CompileError> {
         match &e.kind {
-            ExprKind::Bin(k, a, b) if k.is_comparison() => {
-                let (va, ta) = self.expr(a)?;
-                let (vb, tb) = self.expr(b)?;
-                let float = ta.is_float() || tb.is_float();
-                let (va, vb) = if float {
-                    (
-                        self.coerce(va, &ta, &Ty::Float, e.line)?,
-                        self.coerce(vb, &tb, &Ty::Float, e.line)?,
-                    )
-                } else {
-                    (va, vb)
-                };
-                let cond = match k {
-                    BinKind::Eq => Cond::Eq,
-                    BinKind::Ne => Cond::Ne,
-                    BinKind::Lt => Cond::Lt,
-                    BinKind::Le => Cond::Le,
-                    BinKind::Gt => Cond::Gt,
-                    BinKind::Ge => Cond::Ge,
-                    _ => unreachable!(),
-                };
-                self.b().terminate(Inst::Branch {
-                    cond,
-                    a: va,
-                    b: vb,
-                    float,
-                    then_bb,
-                    else_bb,
-                });
-                Ok(())
-            }
-            ExprKind::Bin(BinKind::LogAnd, a, b) => {
-                let mid = self.b().new_block();
-                self.cond(a, mid, else_bb)?;
-                self.b().switch_to(mid);
-                self.cond(b, then_bb, else_bb)
-            }
-            ExprKind::Bin(BinKind::LogOr, a, b) => {
-                let mid = self.b().new_block();
-                self.cond(a, then_bb, mid)?;
-                self.b().switch_to(mid);
-                self.cond(b, then_bb, else_bb)
+            ExprKind::Bin(k, a, b)
+                if k.is_comparison() || matches!(k, BinKind::LogAnd | BinKind::LogOr) =>
+            {
+                self.cond_bin(*k, a, b, e.line, then_bb, else_bb)
             }
             ExprKind::Un(UnKind::LogNot, a) => self.cond(a, else_bb, then_bb),
             _ => {
@@ -657,6 +619,65 @@ impl<'a> FnLower<'a> {
                     cond: Cond::Ne,
                     a: v,
                     b: zero,
+                    float,
+                    then_bb,
+                    else_bb,
+                });
+                Ok(())
+            }
+        }
+    }
+
+    /// [`Lowerer::cond`] for a comparison or short-circuit binary whose
+    /// operands are already in hand — callable directly (from
+    /// [`Lowerer::bin_expr`]) without wrapping them back into an `Expr`.
+    fn cond_bin(
+        &mut self,
+        k: BinKind,
+        a: &Expr,
+        b: &Expr,
+        line: u32,
+        then_bb: BlockId,
+        else_bb: BlockId,
+    ) -> Result<(), CompileError> {
+        match k {
+            BinKind::LogAnd => {
+                let mid = self.b().new_block();
+                self.cond(a, mid, else_bb)?;
+                self.b().switch_to(mid);
+                self.cond(b, then_bb, else_bb)
+            }
+            BinKind::LogOr => {
+                let mid = self.b().new_block();
+                self.cond(a, then_bb, mid)?;
+                self.b().switch_to(mid);
+                self.cond(b, then_bb, else_bb)
+            }
+            _ => {
+                let (va, ta) = self.expr(a)?;
+                let (vb, tb) = self.expr(b)?;
+                let float = ta.is_float() || tb.is_float();
+                let (va, vb) = if float {
+                    (
+                        self.coerce(va, &ta, &Ty::Float, line)?,
+                        self.coerce(vb, &tb, &Ty::Float, line)?,
+                    )
+                } else {
+                    (va, vb)
+                };
+                let cond = match k {
+                    BinKind::Eq => Cond::Eq,
+                    BinKind::Ne => Cond::Ne,
+                    BinKind::Lt => Cond::Lt,
+                    BinKind::Le => Cond::Le,
+                    BinKind::Gt => Cond::Gt,
+                    BinKind::Ge => Cond::Ge,
+                    _ => unreachable!("cond_bin called on a non-condition operator"),
+                };
+                self.b().terminate(Inst::Branch {
+                    cond,
+                    a: va,
+                    b: vb,
                     float,
                     then_bb,
                     else_bb,
@@ -717,7 +738,7 @@ impl<'a> FnLower<'a> {
                     }
                     return Ok((Operand::Reg(dst), Ty::Ptr(elem.clone())));
                 }
-                let place = self.place_of_binding(&b);
+                let place = self.place_of_binding(b);
                 self.load_place(&place)
             }
             ExprKind::Bin(k, a, b) => self.bin_expr(*k, a, b, e.line),
@@ -754,33 +775,33 @@ impl<'a> FnLower<'a> {
         id
     }
 
-    fn place_of_binding(&mut self, b: &Binding) -> Place {
-        match &b.place {
-            VarPlace::Reg(v) => Place::Reg(*v, b.ty.clone()),
+    fn place_of_binding(&mut self, b: Binding) -> Place {
+        match b.place {
+            VarPlace::Reg(v) => Place::Reg(v, b.ty),
             VarPlace::Slot(slot) => {
                 let addr = self.b().new_vreg(RegClass::Int);
                 self.b().push(Inst::FrameAddr {
                     dst: addr,
-                    slot: *slot,
+                    slot,
                     off: 0,
                 });
                 Place::Mem {
                     base: Operand::Reg(addr),
                     off: 0,
-                    ty: b.ty.clone(),
+                    ty: b.ty,
                 }
             }
             VarPlace::Global(sym) => {
                 let addr = self.b().new_vreg(RegClass::Int);
                 self.b().push(Inst::AddrOf {
                     dst: addr,
-                    sym: *sym,
+                    sym,
                     off: 0,
                 });
                 Place::Mem {
                     base: Operand::Reg(addr),
                     off: 0,
-                    ty: b.ty.clone(),
+                    ty: b.ty,
                 }
             }
         }
@@ -847,23 +868,28 @@ impl<'a> FnLower<'a> {
                 if matches!(b.ty, Ty::Array(..)) {
                     return Err(CompileError::new(e.line, "array is not assignable"));
                 }
-                Ok(self.place_of_binding(&b))
+                Ok(self.place_of_binding(b))
             }
-            ExprKind::Un(UnKind::Deref, inner) => {
-                let (v, ty) = self.expr(inner)?;
-                let elem = ty
-                    .pointee()
-                    .cloned()
-                    .ok_or_else(|| CompileError::new(e.line, "cannot dereference non-pointer"))?;
-                Ok(Place::Mem {
-                    base: v,
-                    off: 0,
-                    ty: elem,
-                })
-            }
+            ExprKind::Un(UnKind::Deref, inner) => self.deref_place(inner, e.line),
             ExprKind::Index(a, i) => self.index_place(a, i, e.line),
             _ => Err(CompileError::new(e.line, "expression is not assignable")),
         }
+    }
+
+    /// The place denoted by `*inner` — shared by [`Lowerer::place`] and
+    /// rvalue dereference, so neither has to re-wrap `inner` in an
+    /// `Expr`.
+    fn deref_place(&mut self, inner: &Expr, line: u32) -> Result<Place, CompileError> {
+        let (v, ty) = self.expr(inner)?;
+        let elem = ty
+            .pointee()
+            .cloned()
+            .ok_or_else(|| CompileError::new(line, "cannot dereference non-pointer"))?;
+        Ok(Place::Mem {
+            base: v,
+            off: 0,
+            ty: elem,
+        })
     }
 
     fn index_place(&mut self, a: &Expr, i: &Expr, line: u32) -> Result<Place, CompileError> {
@@ -913,11 +939,7 @@ impl<'a> FnLower<'a> {
             let t = self.b().new_block();
             let f = self.b().new_block();
             let end = self.b().new_block();
-            let e = Expr {
-                kind: ExprKind::Bin(k, Box::new(a.clone()), Box::new(b.clone())),
-                line,
-            };
-            self.cond(&e, t, f)?;
+            self.cond_bin(k, a, b, line, t, f)?;
             self.b().switch_to(t);
             self.b().push(Inst::Copy {
                 dst,
@@ -1092,16 +1114,13 @@ impl<'a> FnLower<'a> {
                 Ok((Operand::Reg(dst), Ty::Int))
             }
             UnKind::LogNot => {
-                // !(x) materialized through cond.
-                let e = Expr {
-                    kind: ExprKind::Un(UnKind::LogNot, Box::new(a.clone())),
-                    line,
-                };
+                // !(x) materialized through cond, with the branch targets
+                // swapped (cond of `!x` is cond of `x` inverted).
                 let dst = self.b().new_vreg(RegClass::Int);
                 let t = self.b().new_block();
                 let f = self.b().new_block();
                 let end = self.b().new_block();
-                self.cond(&e, t, f)?;
+                self.cond(a, f, t)?;
                 self.b().switch_to(t);
                 self.b().push(Inst::Copy {
                     dst,
@@ -1118,10 +1137,7 @@ impl<'a> FnLower<'a> {
                 Ok((Operand::Reg(dst), Ty::Int))
             }
             UnKind::Deref => {
-                let p = self.place(&Expr {
-                    kind: ExprKind::Un(UnKind::Deref, Box::new(a.clone())),
-                    line,
-                })?;
+                let p = self.deref_place(a, line)?;
                 self.load_place(&p)
             }
             UnKind::AddrOf => {

@@ -36,7 +36,10 @@ impl Parser {
     }
 
     fn bump(&mut self) -> Tok {
-        let t = self.toks[self.pos].tok.clone();
+        // The parser never rewinds, so consumed tokens can be moved out
+        // rather than cloned; the final token is `Eof`, so re-bumping at
+        // the end keeps returning `Eof`.
+        let t = std::mem::replace(&mut self.toks[self.pos].tok, Tok::Eof);
         if self.pos + 1 < self.toks.len() {
             self.pos += 1;
         }
@@ -270,7 +273,7 @@ impl Parser {
     }
 
     fn stmt(&mut self) -> Result<Stmt, CompileError> {
-        match self.peek().clone() {
+        match self.peek() {
             _ if self.is_type_start() => self.local_decl(),
             Tok::Semi => {
                 self.bump();

@@ -550,19 +550,17 @@ impl<'a> BrLint<'a> {
                 _ => continue,
             };
             let Some(b) = cur_block else { continue };
-            let Some(reserved) = plan.reserved_in.get(&b) else {
+            let reserved = plan.reserved_in(b);
+            if reserved.is_empty() {
                 continue;
-            };
+            }
             let clobbered = |breg: u8| VerifyError::HoistClobbered {
                 func: self.asm.name.clone(),
                 index,
                 breg,
             };
             if let Some(d) = breg_def(inst) {
-                let is_hoisted_calc = plan
-                    .preheader
-                    .get(&b)
-                    .is_some_and(|hs| hs.iter().any(|h| h.breg == d));
+                let is_hoisted_calc = plan.preheader(b).iter().any(|h| h.breg == d);
                 if reserved.contains(&d) && !is_hoisted_calc {
                     return Err(clobbered(d));
                 }
@@ -581,11 +579,10 @@ impl<'a> BrLint<'a> {
                         // calculations (which sit at the block's end),
                         // so registers this block itself computes are
                         // not yet live across the call.
-                        let computed_here = plan.preheader.get(&b);
+                        let computed_here = plan.preheader(b);
                         let live_reserved = reserved.iter().find(|&&r| {
                             caller_pool.contains(&r)
-                                && !computed_here
-                                    .is_some_and(|hs| hs.iter().any(|h| h.breg == r))
+                                && !computed_here.iter().any(|h| h.breg == r)
                         });
                         if let Some(&r) = live_reserved {
                             return Err(clobbered(r));
@@ -839,13 +836,13 @@ mod tests {
     fn hoisted_register_clobber_is_rejected() {
         use br_codegen::hoist::{Hoisted, HoistedWhat};
         let mut plan = HoistPlan::default();
-        plan.reserved_in.insert(2, vec![1]);
-        plan.preheader.insert(
+        plan.add_reserved(2, 1);
+        plan.add_preheader(
             0,
-            vec![Hoisted {
+            Hoisted {
                 breg: 1,
                 what: HoistedWhat::Block(2),
-            }],
+            },
         );
         // Block 2 (the loop body) redefines b[1], which the plan
         // reserved for the loop's hoisted target.

@@ -31,6 +31,10 @@ cargo run --release -p br-torture -- --demo-fault
 echo "==> emulator perf bench (test scale; JSON kept out of the tree)"
 cargo run --release -p br-bench --bin perf -- --reps 2 --out target/BENCH_emulator_ci.json
 
+echo "==> compile-throughput bench + regression gate (fail below 0.8x baseline)"
+cargo run --release -p br-bench --bin perf -- compile --paper --reps 3 \
+    --out target/BENCH_compiler_ci.json --check 0.8
+
 echo "==> results/*.txt goldens regenerate byte-identical"
 regen_dir="target/results_regen"
 rm -rf "$regen_dir"

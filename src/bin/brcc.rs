@@ -12,6 +12,9 @@
 //!   --no-hoist            disable branch-target hoisting
 //!   --fused-compare       Section 9 fast-compare variant
 //!   --fuel N              instruction budget (default 4e9)
+//!   --jobs N              worker threads for batched function
+//!                         compilation (0 = auto; default 1 = serial;
+//!                         output is byte-identical at any level)
 //!   --verify/--no-verify  force the br-verify stage gates on/off
 //!                         (default: on in debug builds only)
 //! ```
@@ -31,6 +34,7 @@ struct Args {
     stats: bool,
     opts: BrOptions,
     fuel: u64,
+    jobs: usize,
     verify: Option<bool>,
 }
 
@@ -43,6 +47,7 @@ fn parse_args() -> Result<Args, String> {
         stats: false,
         opts: BrOptions::default(),
         fuel: 4_000_000_000,
+        jobs: 1,
         verify: None,
     };
     let mut it = std::env::args().skip(1);
@@ -73,6 +78,12 @@ fn parse_args() -> Result<Args, String> {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .ok_or("bad --fuel")?;
+            }
+            "--jobs" => {
+                args.jobs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("bad --jobs")?;
             }
             "--help" | "-h" => return Err(String::new()),
             other if !other.starts_with('-') => args.input = Some(other.to_string()),
@@ -120,6 +131,7 @@ fn real_main() -> Result<(), String> {
     let mut exp = Experiment {
         br_opts: args.opts,
         fuel: args.fuel,
+        jobs: args.jobs,
         ..Experiment::new()
     };
     if let Some(v) = args.verify {
@@ -173,7 +185,7 @@ fn real_main() -> Result<(), String> {
 fn usage() {
     eprintln!(
         "usage: brcc [--machine base|br] [--emit asm|ir] [--compare] [--stats]\n\
-         \t[--bregs N] [--no-hoist] [--fused-compare] [--fuel N]\n\
+         \t[--bregs N] [--no-hoist] [--fused-compare] [--fuel N] [--jobs N]\n\
          \t[--verify|--no-verify] <file.mc | workload>"
     );
 }

@@ -1,0 +1,61 @@
+//! Determinism of batched function compilation.
+//!
+//! `brcc --jobs N` routes through `Experiment::jobs`, which fans
+//! per-function register allocation and emission across worker threads.
+//! The contract is byte-identical output at every jobs level: same text
+//! words, same data segment, same entry point, same codegen statistics —
+//! with the br-verify stage gates both off and on.
+
+use br_core::{suite, Experiment, Machine, Scale};
+
+#[test]
+fn batched_compilation_is_byte_identical_across_jobs_levels() {
+    for verify in [false, true] {
+        let serial = Experiment {
+            verify,
+            jobs: 1,
+            ..Experiment::new()
+        };
+        let batched = Experiment {
+            verify,
+            jobs: 4,
+            ..Experiment::new()
+        };
+        for w in suite(Scale::Test) {
+            for m in [Machine::Baseline, Machine::BranchReg] {
+                let (p1, s1) = serial
+                    .compile(&w.source, m)
+                    .unwrap_or_else(|e| panic!("{} on {m:?} (jobs=1): {e}", w.name));
+                let (p4, s4) = batched
+                    .compile(&w.source, m)
+                    .unwrap_or_else(|e| panic!("{} on {m:?} (jobs=4): {e}", w.name));
+                let ctx = format!("{} on {m:?} (verify={verify})", w.name);
+                assert_eq!(p1.code, p4.code, "text differs: {ctx}");
+                assert_eq!(p1.data, p4.data, "data differs: {ctx}");
+                assert_eq!(p1.entry, p4.entry, "entry differs: {ctx}");
+                assert_eq!(s1, s4, "stats differ: {ctx}");
+            }
+        }
+    }
+}
+
+#[test]
+fn auto_jobs_matches_serial() {
+    let serial = Experiment {
+        verify: false,
+        jobs: 1,
+        ..Experiment::new()
+    };
+    let auto = Experiment {
+        verify: false,
+        jobs: 0, // auto-detect worker count
+        ..Experiment::new()
+    };
+    let w = &suite(Scale::Test)[0];
+    for m in [Machine::Baseline, Machine::BranchReg] {
+        let (p1, _) = serial.compile(&w.source, m).expect("serial compiles");
+        let (pa, _) = auto.compile(&w.source, m).expect("auto compiles");
+        assert_eq!(p1.code, pa.code, "{} on {m:?}", w.name);
+        assert_eq!(p1.data, pa.data, "{} on {m:?}", w.name);
+    }
+}
