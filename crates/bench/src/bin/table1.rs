@@ -5,13 +5,14 @@
 //! fewer instructions** and made **2.0% more data references** (a 10:1
 //! ratio of instructions saved to references added).
 
-use br_bench::{human, jobs_from_args, pct, scale_from_args};
+use br_bench::{human, jobs_from_args, pct, profile_from_args, scale_from_args};
 use br_core::Experiment;
 
 fn main() {
     let scale = scale_from_args();
+    let jobs = jobs_from_args();
     let exp = Experiment::new();
-    let report = exp.run_suite_jobs(scale, jobs_from_args()).expect("suite");
+    let report = exp.run_suite_jobs(scale, jobs).expect("suite");
 
     println!("Table I — Dynamic Measurements from the Two Machines ({scale:?} scale)");
     println!();
@@ -62,4 +63,9 @@ fn main() {
         f64::INFINITY
     };
     println!("measured ratio of instructions-saved to data-refs-added: {ratio:.1} : 1 (paper: 10 : 1)");
+
+    if let Some(path) = profile_from_args() {
+        br_bench::write_suite_profile(&path, scale, jobs).expect("profile");
+        eprintln!("profile written to {path}");
+    }
 }

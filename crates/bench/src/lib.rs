@@ -50,6 +50,71 @@ where
     0
 }
 
+/// Parse the common `--profile FILE` flag from the process arguments.
+/// When present, suite bins re-run the workloads under the br-obs
+/// profiler and write the JSON report to the given path.
+pub fn profile_from_args() -> Option<String> {
+    profile_from(std::env::args())
+}
+
+/// Testable core of [`profile_from_args`].
+pub fn profile_from<I>(args: I) -> Option<String>
+where
+    I: IntoIterator,
+    I::Item: AsRef<str>,
+{
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        if a.as_ref() == "--profile" {
+            return it.next().map(|v| v.as_ref().to_string());
+        }
+    }
+    None
+}
+
+/// Profile the Appendix I suite on both machines (metered compiles, a
+/// [`br_obs::ProfileHook`] per run) and write the JSON report to `path`.
+/// The report omits wall times, so its bytes are stable at any `jobs`.
+pub fn write_suite_profile(path: &str, scale: Scale, jobs: usize) -> Result<(), String> {
+    let exp = br_core::Experiment::new();
+    let modules: Vec<(String, br_ir::Module)> = br_core::suite(scale)
+        .into_iter()
+        .map(|w| {
+            let module = br_frontend::compile(&w.source)
+                .map_err(|e| format!("{}: frontend: {e}", w.name))?;
+            Ok((w.name.to_string(), module))
+        })
+        .collect::<Result<_, String>>()?;
+    let results = br_core::parallel::map_ordered(&modules, jobs, |_, (name, module)| {
+        let mut runs = Vec::new();
+        let mut compiles = Vec::new();
+        for machine in [br_core::Machine::Baseline, br_core::Machine::BranchReg] {
+            let (prog, stats, metrics) = exp
+                .compile_module_metered(module, machine)
+                .map_err(|e| format!("{name} on {machine}: {e}"))?;
+            let mut hook = br_obs::ProfileHook::new(&prog);
+            let mut emu = br_emu::Emulator::new(&prog);
+            emu.run_with_hook(exp.fuel, &mut hook)
+                .map_err(|e| format!("{name} on {machine}: {e}"))?;
+            runs.push(hook.finish(name, emu.measurements()));
+            compiles.push(br_obs::CompileProfile {
+                name: name.to_string(),
+                machine,
+                metrics,
+                stats,
+            });
+        }
+        Ok::<_, String>((runs, compiles))
+    });
+    let mut report = br_obs::Report::default();
+    for r in results {
+        let (runs, compiles) = r?;
+        report.programs.extend(runs);
+        report.compiles.extend(compiles);
+    }
+    std::fs::write(path, report.to_json(10, false)).map_err(|e| format!("write {path}: {e}"))
+}
+
 /// Render a ratio as a signed percentage string.
 pub fn pct(v: f64) -> String {
     format!("{v:+.2}%")
@@ -164,6 +229,20 @@ mod tests {
         assert_eq!(scan_number(&cur, "a"), Some(-7.0));
         assert_eq!(extract_object(json, "missing"), None);
         assert_eq!(scan_number(&seed, "missing"), None);
+    }
+
+    #[test]
+    fn profile_flag_parsing() {
+        assert_eq!(profile_from(["bin"]), None);
+        assert_eq!(
+            profile_from(["bin", "--profile", "out.json"]),
+            Some("out.json".to_string())
+        );
+        assert_eq!(profile_from(["bin", "--profile"]), None);
+        assert_eq!(
+            profile_from(["bin", "--paper", "--profile", "p.json", "--jobs", "2"]),
+            Some("p.json".to_string())
+        );
     }
 
     #[test]

@@ -416,6 +416,21 @@ pub fn emit_brmach(
     opts: BrOptions,
     loops: br_ir::LoopForest,
 ) -> Result<(AsmFunc, CodegenStats, HoistPlan), CodegenError> {
+    emit_brmach_with(ir, vf, target, alloc, opts, loops, None)
+}
+
+/// [`emit_brmach`] with an optional slot that receives the wall time of
+/// the hoisting planner, for per-stage compiler profiling; `None` skips
+/// the clock reads entirely.
+pub fn emit_brmach_with(
+    ir: &Function,
+    vf: &mut VFunc,
+    target: &TargetSpec,
+    alloc: &Allocation,
+    opts: BrOptions,
+    loops: br_ir::LoopForest,
+    hoist_ns: Option<&mut u64>,
+) -> Result<(AsmFunc, CodegenStats, HoistPlan), CodegenError> {
     vf.max_out_args = compute_max_out_args(vf, target);
 
     // Does anything clobber b[7] before the return carriers?
@@ -429,7 +444,15 @@ pub fn emit_brmach(
     // Leaf functions with internal transfers stash b[7] in a caller-saved
     // branch register (no memory traffic), so withhold one from hoisting.
     let want_stash = has_internal && !vf.has_call;
-    let plan = hoist::plan(ir, vf, &opts, want_stash, loops);
+    let plan = match hoist_ns {
+        None => hoist::plan(ir, vf, &opts, want_stash, loops),
+        Some(slot) => {
+            let t = std::time::Instant::now();
+            let plan = hoist::plan(ir, vf, &opts, want_stash, loops);
+            *slot = t.elapsed().as_nanos() as u64;
+            plan
+        }
+    };
     let (_, caller_pool) = opts.pools();
 
     // Return-address strategy.

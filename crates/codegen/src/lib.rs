@@ -57,6 +57,52 @@ pub struct CompiledModule {
     pub stats: CodegenStats,
 }
 
+/// Per-stage wall times of one compilation, in nanoseconds. Collected
+/// only by the metered entry points ([`ModuleBatch::compile_func_metered`]);
+/// the plain pipeline never reads the clock. Deliberately *not* part of
+/// [`CodegenStats`], which is pinned byte-identical across `--jobs`
+/// levels — wall times are inherently nondeterministic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTimes {
+    /// Instruction selection (serial front half, including `Ir` gates).
+    pub isel_ns: u64,
+    /// Register allocation (coloring + spill rewrite).
+    pub regalloc_ns: u64,
+    /// Hoist planning (branch-register machine only; part of `emit_ns`).
+    pub hoist_ns: u64,
+    /// Final emission, *including* hoist planning on the BR machine.
+    pub emit_ns: u64,
+}
+
+impl StageTimes {
+    /// Fold another function's times into this total.
+    pub fn accumulate(&mut self, other: &StageTimes) {
+        self.isel_ns += other.isel_ns;
+        self.regalloc_ns += other.regalloc_ns;
+        self.hoist_ns += other.hoist_ns;
+        self.emit_ns += other.emit_ns;
+    }
+}
+
+/// Counters and timings from one function's trip through the metered
+/// back half of the pipeline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FuncMetrics {
+    /// Stage wall times (the `isel_ns` component is zero here; selection
+    /// is module-level, see [`ModuleBatch::isel_ns`]).
+    pub times: StageTimes,
+    /// Spill slots the register allocator inserted.
+    pub spills: u32,
+}
+
+impl FuncMetrics {
+    /// Fold another function's metrics into this total.
+    pub fn accumulate(&mut self, other: &FuncMetrics) {
+        self.times.accumulate(&other.times);
+        self.spills += other.spills;
+    }
+}
+
 /// One observation point in the per-function compilation pipeline,
 /// handed to the gate callback of [`compile_module_with`]. Each variant
 /// is a read-only snapshot taken *after* the named stage ran, so a
@@ -130,6 +176,8 @@ pub struct ModuleBatch<'a> {
     /// (index into `module.functions`, selected virtual code).
     funcs: Vec<(usize, vcode::VFunc)>,
     pool: isel::ConstPool,
+    /// Wall time of the serial selection front half.
+    isel_ns: u64,
 }
 
 /// Run the serial front half of codegen — the `Ir` gate and instruction
@@ -150,6 +198,7 @@ where
     let target = TargetSpec::for_machine(machine);
     let mut pool = isel::ConstPool::new();
     let mut funcs = Vec::new();
+    let t = std::time::Instant::now();
     for (fi, func) in module.functions.iter().enumerate() {
         if func.blocks.is_empty() {
             continue; // prototype without a body
@@ -159,6 +208,7 @@ where
         vf.max_out_args = baseline::compute_max_out_args(&vf, &target);
         funcs.push((fi, vf));
     }
+    let isel_ns = t.elapsed().as_nanos() as u64;
     Ok(ModuleBatch {
         module,
         machine,
@@ -167,6 +217,7 @@ where
         target,
         funcs,
         pool,
+        isel_ns,
     })
 }
 
@@ -195,6 +246,13 @@ impl ModuleBatch<'_> {
         self.funcs.is_empty()
     }
 
+    /// Wall time of the serial selection front half, in nanoseconds
+    /// (includes the `Ir` gates). Attributed once per module, not per
+    /// function.
+    pub fn isel_ns(&self) -> u64 {
+        self.isel_ns
+    }
+
     /// Register-allocate and emit function `i` of the batch, running the
     /// `Regalloc` and `Emit` gates. Reads `&self` only (the selected
     /// virtual code is cloned before the spill rewrite mutates it), so
@@ -204,6 +262,34 @@ impl ModuleBatch<'_> {
         &self,
         i: usize,
         gate: &G,
+    ) -> Result<(AsmFunc, CodegenStats), GatedError<E>>
+    where
+        G: Fn(Stage<'_>) -> Result<(), E>,
+    {
+        self.compile_func_inner(i, gate, None)
+    }
+
+    /// [`compile_func`](Self::compile_func) plus per-stage wall times and
+    /// allocator counters. Only this variant reads the clock — the plain
+    /// path stays byte-for-byte on the throughput-gated hot path.
+    pub fn compile_func_metered<E, G>(
+        &self,
+        i: usize,
+        gate: &G,
+    ) -> Result<((AsmFunc, CodegenStats), FuncMetrics), GatedError<E>>
+    where
+        G: Fn(Stage<'_>) -> Result<(), E>,
+    {
+        let mut metrics = FuncMetrics::default();
+        let out = self.compile_func_inner(i, gate, Some(&mut metrics))?;
+        Ok((out, metrics))
+    }
+
+    fn compile_func_inner<E, G>(
+        &self,
+        i: usize,
+        gate: &G,
+        mut metrics: Option<&mut FuncMetrics>,
     ) -> Result<(AsmFunc, CodegenStats), GatedError<E>>
     where
         G: Fn(Stage<'_>) -> Result<(), E>,
@@ -220,7 +306,12 @@ impl ModuleBatch<'_> {
             .map(|i| loops.depth(br_ir::BlockId(i as u32)))
             .collect();
 
+        let t = metrics.as_ref().map(|_| std::time::Instant::now());
         let alloc = regalloc::allocate(&mut vf, &self.target, &depth)?;
+        if let (Some(m), Some(t)) = (metrics.as_mut(), t) {
+            m.times.regalloc_ns = t.elapsed().as_nanos() as u64;
+            m.spills = vf.num_spills;
+        }
         gate(Stage::Regalloc {
             func,
             vcode: &vf,
@@ -229,17 +320,31 @@ impl ModuleBatch<'_> {
         })
         .map_err(GatedError::Gate)?;
 
+        let t = metrics.as_ref().map(|_| std::time::Instant::now());
+        let mut hoist_ns = 0u64;
         let (afunc, fstats, plan) = match self.machine {
             Machine::Baseline => {
                 let (a, s) = baseline::emit_baseline(&vf, &self.target, &alloc, self.base_opts)?;
                 (a, s, None)
             }
             Machine::BranchReg => {
-                let (a, s, p) =
-                    brmach::emit_brmach(func, &mut vf, &self.target, &alloc, self.br_opts, loops)?;
+                let slot = metrics.is_some().then_some(&mut hoist_ns);
+                let (a, s, p) = brmach::emit_brmach_with(
+                    func,
+                    &mut vf,
+                    &self.target,
+                    &alloc,
+                    self.br_opts,
+                    loops,
+                    slot,
+                )?;
                 (a, s, Some(p))
             }
         };
+        if let (Some(m), Some(t)) = (metrics, t) {
+            m.times.emit_ns = t.elapsed().as_nanos() as u64;
+            m.times.hoist_ns = hoist_ns;
+        }
         gate(Stage::Emit {
             func,
             asm: &afunc,

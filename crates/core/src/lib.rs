@@ -22,7 +22,9 @@ use std::fmt;
 
 pub mod parallel;
 
-pub use br_codegen::{BaseOptions, BrOptions, CodegenError, CodegenStats};
+pub use br_codegen::{
+    BaseOptions, BrOptions, CodegenError, CodegenStats, FuncMetrics, StageTimes,
+};
 pub use br_emu::{EmuError, Measurements};
 pub use br_frontend::CompileError as FrontendError;
 pub use br_icache::{CacheConfig, CacheStats, ICacheSim};
@@ -142,6 +144,30 @@ impl From<CodegenError> for Error {
 impl From<EmuError> for Error {
     fn from(e: EmuError) -> Error {
         Error::Emu(e)
+    }
+}
+
+/// Aggregated compiler metrics for one module on one machine, from the
+/// metered pipeline ([`Experiment::compile_module_metered`]): per-stage
+/// wall times plus allocator counters. Wall times are nondeterministic by
+/// nature; profile reports keep them out of the deterministic sections.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CompileMetrics {
+    /// Stage wall times: `isel_ns` covers the serial selection front
+    /// half once per module; the other stages are summed over functions.
+    pub times: StageTimes,
+    /// Spill slots inserted by the register allocator, summed.
+    pub spills: u32,
+    /// Number of compiled functions.
+    pub funcs: usize,
+}
+
+impl CompileMetrics {
+    /// Fold another module's metrics into this total.
+    pub fn accumulate(&mut self, other: &CompileMetrics) {
+        self.times.accumulate(&other.times);
+        self.spills += other.spills;
+        self.funcs += other.funcs;
     }
 }
 
@@ -277,6 +303,87 @@ impl Experiment {
                 GatedError::Gate(never) => match never {},
             })
         }
+    }
+
+    /// [`Experiment::compile_module_for`] through the metered pipeline:
+    /// identical output, plus per-stage wall times and allocator
+    /// counters. Only profiling callers pay for the clock reads — the
+    /// plain path is untouched.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Experiment::compile_module_for`].
+    pub fn compile_module_metered(
+        &self,
+        module: &br_ir::Module,
+        machine: Machine,
+    ) -> Result<(Program, CodegenStats, CompileMetrics), Error> {
+        use br_codegen::GatedError;
+        let (out, metrics) = if self.verify {
+            let to_compile = |e| match e {
+                GatedError::Codegen(c) => CompileError::Codegen(c),
+                GatedError::Gate(v) => CompileError::Verify(v),
+            };
+            let mut gate = br_verify::check_stage;
+            let batch = br_codegen::select_module_with(
+                module,
+                machine,
+                self.base_opts,
+                self.br_opts,
+                &mut gate,
+            )
+            .map_err(to_compile)?;
+            self.finish_batch_metered(batch, &br_verify::check_stage)
+                .map_err(to_compile)?
+        } else {
+            let batch = br_codegen::select_module(module, machine, self.base_opts, self.br_opts)
+                .map_err(CompileError::Codegen)?;
+            let no_gate = |_: br_codegen::Stage<'_>| Ok::<(), std::convert::Infallible>(());
+            self.finish_batch_metered(batch, &no_gate)
+                .map_err(|e| match e {
+                    GatedError::Codegen(c) => CompileError::Codegen(c),
+                    GatedError::Gate(never) => match never {},
+                })?
+        };
+        let prog = out
+            .asm
+            .assemble()
+            .map_err(|e| CompileError::Asm(e.to_string()))?;
+        Ok((prog, out.stats, metrics))
+    }
+
+    /// Metered variant of [`finish_batch`](Self::finish_batch): same
+    /// fan-out, but each function reports its [`FuncMetrics`], which are
+    /// aggregated in module order.
+    fn finish_batch_metered<E, G>(
+        &self,
+        batch: br_codegen::ModuleBatch<'_>,
+        gate: &G,
+    ) -> Result<(br_codegen::CompiledModule, CompileMetrics), br_codegen::GatedError<E>>
+    where
+        G: Fn(br_codegen::Stage<'_>) -> Result<(), E> + Sync,
+        E: Send,
+    {
+        let indices: Vec<usize> = (0..batch.len()).collect();
+        let parts = parallel::map_ordered(&indices, self.jobs, |_, &i| {
+            batch.compile_func_metered(i, gate)
+        });
+        let mut ok = Vec::with_capacity(parts.len());
+        let mut agg = FuncMetrics::default();
+        for p in parts {
+            let (out, m) = p?;
+            agg.accumulate(&m);
+            ok.push(out);
+        }
+        let metrics = CompileMetrics {
+            times: StageTimes {
+                isel_ns: batch.isel_ns(),
+                ..agg.times
+            },
+            spills: agg.spills,
+            funcs: batch.len(),
+        };
+        Ok((batch.finish(ok), metrics))
     }
 
     /// Fan the back half of codegen (allocation + emission) across

@@ -1207,6 +1207,7 @@ mod tests {
             data: vec![],
             entry: abi::TEXT_BASE,
             symbols: Default::default(),
+            blocks: Default::default(),
         };
         let mut emu = Emulator::new(&prog);
         assert_eq!(

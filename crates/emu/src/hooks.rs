@@ -32,9 +32,21 @@ pub struct NoHook;
 
 impl ExecHook for NoHook {}
 
+/// Default event cap for [`TraceHook`]: generous enough for every test
+/// and visualisation workload in the repo, small enough that a runaway
+/// multi-billion-instruction run cannot exhaust memory.
+pub const TRACE_HOOK_DEFAULT_CAP: usize = 1 << 22;
+
 /// A hook that records the full fetch/prefetch trace (for tests and
 /// pipeline visualisation).
-#[derive(Debug, Clone, Default)]
+///
+/// Each event stream is bounded: once a vector reaches the cap, further
+/// events of that kind are counted in [`dropped`](Self::dropped) instead
+/// of stored (keep-first semantics — the prefix of a trace is what
+/// tests and visualisers consume). Use [`with_cap`](Self::with_cap) to
+/// size the buffers explicitly; `TraceHook::default()` uses
+/// [`TRACE_HOOK_DEFAULT_CAP`].
+#[derive(Debug, Clone)]
 pub struct TraceHook {
     /// Fetched instruction addresses, in order.
     pub fetches: Vec<u32>,
@@ -44,21 +56,59 @@ pub struct TraceHook {
     pub retires: Vec<u32>,
     /// Stores performed by retired instructions, in order.
     pub stores: Vec<(u32, i32)>,
+    /// Per-stream event cap (each vector stops growing at this length).
+    pub cap: usize,
+    /// Events discarded because their stream was already at `cap`.
+    pub dropped: u64,
+}
+
+impl Default for TraceHook {
+    fn default() -> Self {
+        Self::with_cap(TRACE_HOOK_DEFAULT_CAP)
+    }
+}
+
+impl TraceHook {
+    /// A trace hook whose four event streams each hold at most `cap`
+    /// entries; later events only bump [`dropped`](Self::dropped).
+    pub fn with_cap(cap: usize) -> Self {
+        TraceHook {
+            fetches: Vec::new(),
+            prefetches: Vec::new(),
+            retires: Vec::new(),
+            stores: Vec::new(),
+            cap,
+            dropped: 0,
+        }
+    }
+
+    /// Whether any event was discarded (a stream hit the cap).
+    pub fn truncated(&self) -> bool {
+        self.dropped > 0
+    }
+
+    fn push<T>(buf: &mut Vec<T>, cap: usize, dropped: &mut u64, v: T) {
+        if buf.len() < cap {
+            buf.push(v);
+        } else {
+            *dropped += 1;
+        }
+    }
 }
 
 impl ExecHook for TraceHook {
     fn fetch(&mut self, addr: u32) {
-        self.fetches.push(addr);
+        Self::push(&mut self.fetches, self.cap, &mut self.dropped, addr);
     }
 
     fn prefetch(&mut self, addr: u32) {
-        self.prefetches.push(addr);
+        Self::push(&mut self.prefetches, self.cap, &mut self.dropped, addr);
     }
 
     fn retire(&mut self, pc: u32, store: Option<(u32, i32)>) {
-        self.retires.push(pc);
+        Self::push(&mut self.retires, self.cap, &mut self.dropped, pc);
         if let Some(s) = store {
-            self.stores.push(s);
+            Self::push(&mut self.stores, self.cap, &mut self.dropped, s);
         }
     }
 }
@@ -79,6 +129,26 @@ mod tests {
         assert_eq!(h.prefetches, vec![0x2000]);
         assert_eq!(h.retires, vec![0x1000, 0x1004]);
         assert_eq!(h.stores, vec![(0x8000, 42)]);
+        assert!(!h.truncated());
+    }
+
+    #[test]
+    fn trace_hook_caps_each_stream_and_counts_drops() {
+        let mut h = TraceHook::with_cap(2);
+        for i in 0..5u32 {
+            h.fetch(i);
+            h.retire(i, Some((0x8000 + i, i as i32)));
+        }
+        // Keep-first: the prefix survives, the tail is counted.
+        assert_eq!(h.fetches, vec![0, 1]);
+        assert_eq!(h.retires, vec![0, 1]);
+        assert_eq!(h.stores, vec![(0x8000, 0), (0x8001, 1)]);
+        // 3 dropped from each of fetches, retires, stores.
+        assert_eq!(h.dropped, 9);
+        assert!(h.truncated());
+        // Streams cap independently: prefetches still has room.
+        h.prefetch(7);
+        assert_eq!(h.prefetches, vec![7]);
     }
 
     #[test]

@@ -20,5 +20,5 @@ pub mod hooks;
 pub mod measure;
 
 pub use emu::{EmuError, Emulator, Fault};
-pub use hooks::{ExecHook, NoHook, TraceHook};
+pub use hooks::{ExecHook, NoHook, TraceHook, TRACE_HOOK_DEFAULT_CAP};
 pub use measure::{Measurements, MAX_DIST_BUCKET};

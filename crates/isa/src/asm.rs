@@ -5,7 +5,7 @@ use std::fmt;
 
 use crate::encode::{encode, EncodeError};
 use crate::minst::{AluOp, MInst, Src2};
-use crate::program::{Program, TextWord};
+use crate::program::{BlockMark, Program, TextWord};
 use crate::{abi, Machine};
 
 /// A function-local label.
@@ -164,14 +164,31 @@ impl AsmProgram {
         // ---- pass 1: text layout ----
         let all_funcs: Vec<&AsmFunc> = std::iter::once(&stub).chain(self.funcs.iter()).collect();
         let mut labels: Vec<HashMap<Label, u32>> = Vec::with_capacity(all_funcs.len());
+        let mut blocks: Vec<BlockMark> = Vec::new();
         let mut addr = abi::TEXT_BASE;
         for f in &all_funcs {
             symbols.insert(f.name.clone(), addr);
+            blocks.push(BlockMark {
+                word: (addr - abi::TEXT_BASE) / 4,
+                func: f.name.clone(),
+                label: None,
+            });
             let mut lmap = HashMap::new();
             for item in &f.items {
                 match item {
                     AsmItem::Label(l) => {
                         lmap.insert(*l, addr);
+                        // Retain the bound label for profile attribution;
+                        // when several labels bind one address (or a label
+                        // binds the entry), the first mark wins.
+                        let word = (addr - abi::TEXT_BASE) / 4;
+                        if blocks.last().map(|b| b.word) != Some(word) {
+                            blocks.push(BlockMark {
+                                word,
+                                func: f.name.clone(),
+                                label: Some(l.0),
+                            });
+                        }
                     }
                     AsmItem::Inst(..) | AsmItem::Word(..) => addr += 4,
                 }
@@ -230,6 +247,7 @@ impl AsmProgram {
             data,
             entry: abi::TEXT_BASE,
             symbols,
+            blocks,
         })
     }
 
@@ -446,6 +464,45 @@ mod tests {
         match prog.fetch(main_addr) {
             Some(TextWord::Inst(MInst::Ba { disp })) => assert_eq!(*disp, 2),
             other => panic!("expected ba, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn block_table_retains_function_entries_and_labels() {
+        let mut p = AsmProgram::new(Machine::Baseline);
+        let l = Label(0);
+        p.funcs.push(AsmFunc {
+            name: "main".to_string(),
+            items: vec![
+                AsmItem::Inst(
+                    MInst::Ba { disp: 0 },
+                    Some(Reloc::Disp(SymRef::Label(l))),
+                ),
+                AsmItem::Inst(MInst::Nop { br: 0 }, None),
+                AsmItem::Label(l),
+                AsmItem::Inst(
+                    MInst::Jmpl {
+                        rd: Reg(0),
+                        rs1: abi::BASE_LINK,
+                        off: 0,
+                    },
+                    None,
+                ),
+                AsmItem::Inst(MInst::Nop { br: 0 }, None),
+            ],
+        });
+        let prog = p.assemble().unwrap();
+        // _start entry, main entry, main's bound label — sorted by word.
+        let names: Vec<String> = prog.blocks.iter().map(|b| b.name()).collect();
+        assert_eq!(names, vec!["_start", "main", "main.L0"]);
+        assert!(prog.blocks.windows(2).all(|w| w[0].word <= w[1].word));
+        // The label mark sits two words into main.
+        let main_addr = prog.symbol("main").unwrap();
+        assert_eq!(prog.block_at(main_addr + 8).unwrap().name(), "main.L0");
+        assert_eq!(prog.block_at(main_addr + 4).unwrap().name(), "main");
+        // Every text word attributes to some block.
+        for w in 0..prog.text.len() as u32 {
+            assert!(prog.block_at(abi::TEXT_BASE + 4 * w).is_some());
         }
     }
 

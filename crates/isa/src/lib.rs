@@ -41,7 +41,7 @@ pub mod program;
 pub use asm::{AsmFunc, AsmItem, AsmProgram, DataItem, Label, Reloc, SymRef};
 pub use encode::{decode, encode, EncodeError};
 pub use minst::{AluOp, BReg, Cc, FReg, FpuOp, MInst, MemWidth, Reg, Src2};
-pub use program::{Program, TextWord};
+pub use program::{BlockMark, Program, TextWord};
 
 use std::fmt;
 

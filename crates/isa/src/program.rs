@@ -15,6 +15,36 @@ pub enum TextWord {
     Data(u32),
 }
 
+/// One emitted code region retained from the assembler's label table: a
+/// function entry or a bound label inside a function. Profilers use these
+/// to attribute an executed address back to the block codegen emitted it
+/// from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockMark {
+    /// Index of the region's first text word (`addr = TEXT_BASE + 4*word`).
+    pub word: u32,
+    /// Name of the owning function.
+    pub func: String,
+    /// Emitted label id within the function; `None` marks the function
+    /// entry itself.
+    pub label: Option<u32>,
+}
+
+impl BlockMark {
+    /// Address of the region's first instruction.
+    pub fn addr(&self) -> u32 {
+        abi::TEXT_BASE + self.word * 4
+    }
+
+    /// Human-readable `func` or `func.Ln` name.
+    pub fn name(&self) -> String {
+        match self.label {
+            None => self.func.clone(),
+            Some(l) => format!("{}.L{l}", self.func),
+        }
+    }
+}
+
 /// A fully assembled program ready to load into an emulator.
 #[derive(Debug, Clone)]
 pub struct Program {
@@ -32,6 +62,10 @@ pub struct Program {
     pub entry: u32,
     /// Function and global symbol addresses.
     pub symbols: HashMap<String, u32>,
+    /// Emitted code regions (function entries and bound labels), sorted
+    /// by text-word index — the assembler's pass-1 label table, retained
+    /// for profile attribution.
+    pub blocks: Vec<BlockMark>,
 }
 
 impl Program {
@@ -56,6 +90,18 @@ impl Program {
     /// Address of a symbol.
     pub fn symbol(&self, name: &str) -> Option<u32> {
         self.symbols.get(name).copied()
+    }
+
+    /// The emitted code region containing `addr`: the last block mark at
+    /// or before it. `None` outside the text segment or when the program
+    /// carries no block table.
+    pub fn block_at(&self, addr: u32) -> Option<&BlockMark> {
+        if addr < abi::TEXT_BASE || !addr.is_multiple_of(4) || addr >= self.text_end() {
+            return None;
+        }
+        let word = (addr - abi::TEXT_BASE) / 4;
+        let n = self.blocks.partition_point(|b| b.word <= word);
+        self.blocks[..n].last()
     }
 
     /// Number of static instructions (excluding embedded data words).
@@ -107,6 +153,11 @@ mod tests {
             data: vec![],
             entry: abi::TEXT_BASE,
             symbols: [("_start".to_string(), abi::TEXT_BASE)].into(),
+            blocks: vec![BlockMark {
+                word: 0,
+                func: "_start".to_string(),
+                label: None,
+            }],
         }
     }
 
@@ -134,5 +185,29 @@ mod tests {
         p.text.push(TextWord::Data(0x1234));
         p.code.push(0x1234);
         assert_eq!(p.static_inst_count(), 1);
+    }
+
+    #[test]
+    fn block_at_picks_the_enclosing_mark() {
+        let mut p = tiny();
+        // Extend the program: words 0..4, marks at words 0 and 2.
+        for _ in 0..3 {
+            p.text.push(TextWord::Inst(MInst::Halt));
+            p.code.push(crate::encode(Machine::Baseline, MInst::Halt).unwrap());
+        }
+        p.blocks.push(BlockMark {
+            word: 2,
+            func: "main".to_string(),
+            label: Some(5),
+        });
+        let at = |off: u32| p.block_at(abi::TEXT_BASE + off).map(|b| b.name());
+        assert_eq!(at(0).as_deref(), Some("_start"));
+        assert_eq!(at(4).as_deref(), Some("_start"));
+        assert_eq!(at(8).as_deref(), Some("main.L5"));
+        assert_eq!(at(12).as_deref(), Some("main.L5"));
+        assert_eq!(at(16), None, "past text end");
+        assert_eq!(p.block_at(abi::TEXT_BASE + 2), None, "unaligned");
+        assert_eq!(p.block_at(abi::TEXT_BASE - 4), None, "below text");
+        assert_eq!(p.block_at(abi::TEXT_BASE + 8).unwrap().addr(), abi::TEXT_BASE + 8);
     }
 }

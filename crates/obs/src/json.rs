@@ -1,0 +1,167 @@
+//! A tiny hand-rolled JSON writer (the repo has no serialization
+//! dependency by design). Produces compact, stably-ordered output:
+//! callers emit keys in a fixed order, and the writer handles commas,
+//! escaping, and nesting.
+
+/// Incremental JSON writer. Values follow either the root, a `key`, or
+/// a position inside an open array; the writer inserts separators.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: String,
+    /// Whether the next value/key at the current nesting level needs a
+    /// leading comma.
+    need_comma: Vec<bool>,
+}
+
+impl Writer {
+    /// A fresh writer.
+    pub fn new() -> Writer {
+        Writer::default()
+    }
+
+    fn sep(&mut self) {
+        if let Some(need) = self.need_comma.last_mut() {
+            if *need {
+                self.buf.push(',');
+            }
+            *need = true;
+        }
+    }
+
+    /// Begin an object value.
+    pub fn open_obj(&mut self) {
+        self.sep();
+        self.buf.push('{');
+        self.need_comma.push(false);
+    }
+
+    /// End the innermost object.
+    pub fn close_obj(&mut self) {
+        self.need_comma.pop();
+        self.buf.push('}');
+    }
+
+    /// Begin an array value.
+    pub fn open_arr(&mut self) {
+        self.sep();
+        self.buf.push('[');
+        self.need_comma.push(false);
+    }
+
+    /// End the innermost array.
+    pub fn close_arr(&mut self) {
+        self.need_comma.pop();
+        self.buf.push(']');
+    }
+
+    /// Emit an object key; the next emitted value belongs to it.
+    pub fn key(&mut self, k: &str) {
+        self.sep();
+        self.push_str_literal(k);
+        self.buf.push(':');
+        // The value that follows must not get another comma.
+        if let Some(need) = self.need_comma.last_mut() {
+            *need = false;
+        }
+    }
+
+    /// `"key":value` for unsigned integers.
+    pub fn field_u64(&mut self, k: &str, v: u64) {
+        self.key(k);
+        self.sep();
+        self.buf.push_str(&v.to_string());
+    }
+
+    /// `"key":value` for floats (finite values only).
+    pub fn field_f64(&mut self, k: &str, v: f64) {
+        self.key(k);
+        self.sep();
+        self.buf.push_str(&format!("{v:.6}"));
+    }
+
+    /// `"key":"value"`.
+    pub fn field_str(&mut self, k: &str, v: &str) {
+        self.key(k);
+        self.sep();
+        self.push_str_literal(v);
+    }
+
+    /// An array of strings as a value.
+    pub fn str_array(&mut self, items: &[&str]) {
+        self.open_arr();
+        for s in items {
+            self.sep();
+            self.push_str_literal(s);
+        }
+        self.close_arr();
+    }
+
+    /// An array of unsigned integers as a value.
+    pub fn u64_array(&mut self, items: &[u64]) {
+        self.open_arr();
+        for v in items {
+            self.sep();
+            self.buf.push_str(&v.to_string());
+        }
+        self.close_arr();
+    }
+
+    fn push_str_literal(&mut self, s: &str) {
+        self.buf.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => self.buf.push_str("\\\""),
+                '\\' => self.buf.push_str("\\\\"),
+                '\n' => self.buf.push_str("\\n"),
+                '\r' => self.buf.push_str("\\r"),
+                '\t' => self.buf.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    self.buf.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => self.buf.push(c),
+            }
+        }
+        self.buf.push('"');
+    }
+
+    /// Finish and return the JSON text.
+    pub fn into_string(self) -> String {
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_structures_get_commas_right() {
+        let mut w = Writer::new();
+        w.open_obj();
+        w.field_u64("a", 1);
+        w.key("b");
+        w.open_arr();
+        w.open_obj();
+        w.field_str("x", "y\"z");
+        w.close_obj();
+        w.open_obj();
+        w.close_obj();
+        w.close_arr();
+        w.key("c");
+        w.str_array(&["p", "q"]);
+        w.close_obj();
+        assert_eq!(
+            w.into_string(),
+            r#"{"a":1,"b":[{"x":"y\"z"},{}],"c":["p","q"]}"#
+        );
+    }
+
+    #[test]
+    fn escapes_control_characters() {
+        let mut w = Writer::new();
+        w.open_obj();
+        w.field_str("k", "a\nb\u{1}");
+        w.close_obj();
+        assert_eq!(w.into_string(), "{\"k\":\"a\\nb\\u0001\"}");
+    }
+}

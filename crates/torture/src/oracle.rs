@@ -14,7 +14,7 @@
 //! stores legitimately differ. Stores to named globals follow the same
 //! IR order on both machines and must match exactly.
 
-use br_emu::{EmuError, Emulator, TraceHook};
+use br_emu::{EmuError, Emulator, ExecHook};
 use br_ir::{InterpError, Interpreter, Module};
 use br_isa::{abi, Machine, Program};
 use br_verify::{PipelineError, VerifyError};
@@ -177,20 +177,37 @@ fn globals_end(module: &Module, prog: &Program) -> u32 {
     end
 }
 
+/// Streaming store filter: keeps only stores into `[lo, hi)`, so the
+/// oracle's buffer is bounded by the program's *global* traffic rather
+/// than its full retirement trace (stack stores never accumulate).
+struct GlobalStores {
+    lo: u32,
+    hi: u32,
+    stores: Vec<(u32, i32)>,
+}
+
+impl ExecHook for GlobalStores {
+    fn retire(&mut self, _pc: u32, store: Option<(u32, i32)>) {
+        if let Some((addr, v)) = store {
+            if addr >= self.lo && addr < self.hi {
+                self.stores.push((addr, v));
+            }
+        }
+    }
+}
+
 fn run_machine(module: &Module, prog: &Program, fuel: u64) -> Result<EmuRun, Divergence> {
     let machine = prog.machine;
     let mut emu = Emulator::new(prog);
-    let mut hook = TraceHook::default();
+    let mut hook = GlobalStores {
+        lo: abi::DATA_BASE,
+        hi: globals_end(module, prog),
+        stores: Vec::new(),
+    };
     let exit = emu
         .run_with_hook(fuel, &mut hook)
         .map_err(|err| Divergence::Emu { machine, err })?;
-    let end = globals_end(module, prog);
-    let global_stores = hook
-        .stores
-        .iter()
-        .copied()
-        .filter(|&(addr, _)| addr >= abi::DATA_BASE && addr < end)
-        .collect();
+    let global_stores = hook.stores;
     let mut globals = Vec::new();
     for g in &module.globals {
         let Some(base) = prog.symbol(&g.name) else {

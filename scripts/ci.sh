@@ -1,11 +1,12 @@
 #!/usr/bin/env sh
 # CI entry point: tier-1 verification plus a fixed-seed torture smoke
 # run. Everything is offline and deterministic; a clean exit means the
-# build, the lint gate, the full test suite, and a 200-iteration
+# build, the lint gate, the full test suite, a 200-iteration
 # differential fuzz run (interpreter vs baseline machine vs
-# branch-register machine, with the br-verify stage gates enabled) all
-# passed. See TORTURE.md for what the torture harness checks and
-# VERIFY.md for the per-stage static invariants.
+# branch-register machine, with the br-verify stage gates enabled), the
+# ISA-coverage gate (br-prof --check-coverage), and the byte-identical
+# golden regeneration all passed. See TORTURE.md for what the torture
+# harness checks and VERIFY.md for the per-stage static invariants.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -22,6 +23,10 @@ cargo test -q
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
+echo "==> observability & timing-model cross-checks (named, for log visibility)"
+cargo test -q --test profile_equivalence --test trace_hook_cap \
+    --test icache_properties --test pipeline_crosscheck
+
 echo "==> torture smoke run (seed 42, 200 iterations, verify gates on, 4 jobs)"
 cargo run --release -p br-torture -- --seed 42 --iters 200 --verify --jobs 4
 
@@ -35,11 +40,14 @@ echo "==> compile-throughput bench + regression gate (fail below 0.8x baseline)"
 cargo run --release -p br-bench --bin perf -- compile --paper --reps 3 \
     --out target/BENCH_compiler_ci.json --check 0.8
 
-echo "==> results/*.txt goldens regenerate byte-identical"
+echo "==> ISA-coverage gate (every legal encoding of both machines executes)"
+cargo run --release -p br-obs --bin br-prof -- --jobs 4 --check-coverage
+
+echo "==> results goldens (txt + profile JSON) regenerate byte-identical"
 regen_dir="target/results_regen"
 rm -rf "$regen_dir"
 sh scripts/regen_results.sh "$regen_dir"
-for f in results/*.txt; do
+for f in results/*.txt results/profile_suite.json; do
     if ! diff -u "$f" "$regen_dir/$(basename "$f")"; then
         echo "GOLDEN DRIFT: $f no longer regenerates byte-identical"
         exit 1

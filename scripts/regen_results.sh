@@ -13,10 +13,15 @@ cd "$(dirname "$0")/.."
 outdir="${1:-results}"
 mkdir -p "$outdir"
 
-cargo build --release -p br-bench
+cargo build --release -p br-bench -p br-obs
 
 for bin in table1 control_stats cycles fig2_fig4 fig5_fig7 fig6_fig8 \
            fig9_distance br_sweep cache_study; do
     echo "==> $bin"
     ./target/release/"$bin" --paper > "$outdir/$bin.txt"
 done
+
+# Paper-scale suite profile (suite + torture corpus + coverage kernel).
+# No --times, so the JSON is byte-deterministic at any --jobs level.
+echo "==> br-prof"
+./target/release/br-prof --paper --out "$outdir/profile_suite.json"

@@ -17,6 +17,9 @@
 //!                         output is byte-identical at any level)
 //!   --verify/--no-verify  force the br-verify stage gates on/off
 //!                         (default: on in debug builds only)
+//!   --profile FILE        run under the br-obs profiler and write the
+//!                         JSON report (opcode histogram, hot blocks,
+//!                         branch-register stats, compile metrics) here
 //! ```
 //!
 //! The input is a path to a MiniC source file, or the name of one of the
@@ -36,6 +39,7 @@ struct Args {
     fuel: u64,
     jobs: usize,
     verify: Option<bool>,
+    profile: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -49,6 +53,7 @@ fn parse_args() -> Result<Args, String> {
         fuel: 4_000_000_000,
         jobs: 1,
         verify: None,
+        profile: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -85,6 +90,9 @@ fn parse_args() -> Result<Args, String> {
                     .and_then(|v| v.parse().ok())
                     .ok_or("bad --jobs")?;
             }
+            "--profile" => {
+                args.profile = Some(it.next().ok_or("--profile needs a file path")?);
+            }
             "--help" | "-h" => return Err(String::new()),
             other if !other.starts_with('-') => args.input = Some(other.to_string()),
             other => return Err(format!("unknown option {other}")),
@@ -118,6 +126,38 @@ fn print_meas(label: &str, m: &br_core::Measurements) {
         m.transfer_fraction() * 100.0,
         m.noops
     );
+}
+
+/// Compile (metered) and run one machine under the br-obs profiler,
+/// appending the profile rows to `report`.
+fn profiled_run(
+    exp: &Experiment,
+    module: &br_ir::Module,
+    machine: Machine,
+    report: &mut br_obs::Report,
+) -> Result<br_core::RunResult, String> {
+    let (prog, stats, metrics) = exp
+        .compile_module_metered(module, machine)
+        .map_err(|e| e.to_string())?;
+    let mut hook = br_obs::ProfileHook::new(&prog);
+    let mut emu = br_emu::Emulator::new(&prog);
+    let exit = emu
+        .run_with_hook(exp.fuel, &mut hook)
+        .map_err(|e| e.to_string())?;
+    let meas = emu.measurements().clone();
+    report.programs.push(hook.finish("input", &meas));
+    report.compiles.push(br_obs::CompileProfile {
+        name: "input".to_string(),
+        machine,
+        metrics,
+        stats,
+    });
+    Ok(br_core::RunResult {
+        exit,
+        meas,
+        stats,
+        static_insts: prog.static_inst_count(),
+    })
 }
 
 fn real_main() -> Result<(), String> {
@@ -159,25 +199,58 @@ fn real_main() -> Result<(), String> {
         return Ok(());
     }
 
+    // With --profile, runs go through the metered compile pipeline and the
+    // br-obs ProfileHook; the counts printed below are byte-identical to
+    // the unprofiled path (see tests/profile_equivalence.rs).
+    let mut report = args.profile.as_ref().map(|_| br_obs::Report::default());
+
     if args.compare {
-        let cmp = exp
-            .run_comparison("input", &src)
-            .map_err(|e| e.to_string())?;
-        println!("exit value: {}", cmp.baseline.exit);
-        print_meas("baseline       ", &cmp.baseline.meas);
-        print_meas("branch-register", &cmp.brmach.meas);
-        let d = (cmp.brmach.meas.instructions as f64 - cmp.baseline.meas.instructions as f64)
-            / cmp.baseline.meas.instructions as f64
+        let (base, brm) = match &mut report {
+            Some(report) => {
+                let module = br_frontend::compile(&src).map_err(|e| e.to_string())?;
+                let base = profiled_run(&exp, &module, Machine::Baseline, report)?;
+                let brm = profiled_run(&exp, &module, Machine::BranchReg, report)?;
+                if base.exit != brm.exit {
+                    return Err(format!(
+                        "machines disagree: baseline exits {} but branch-register exits {}",
+                        base.exit, brm.exit
+                    ));
+                }
+                (base, brm)
+            }
+            None => {
+                let cmp = exp
+                    .run_comparison("input", &src)
+                    .map_err(|e| e.to_string())?;
+                (cmp.baseline, cmp.brmach)
+            }
+        };
+        println!("exit value: {}", base.exit);
+        print_meas("baseline       ", &base.meas);
+        print_meas("branch-register", &brm.meas);
+        let d = (brm.meas.instructions as f64 - base.meas.instructions as f64)
+            / base.meas.instructions as f64
             * 100.0;
         println!("instruction change: {d:+.2}%");
-        return Ok(());
+    } else {
+        let run = match &mut report {
+            Some(report) => {
+                let module = br_frontend::compile(&src).map_err(|e| e.to_string())?;
+                profiled_run(&exp, &module, args.machine, report)?
+            }
+            None => exp.run(&src, args.machine).map_err(|e| e.to_string())?,
+        };
+        println!("exit value: {}", run.exit);
+        if args.stats {
+            print_meas(args.machine.name(), &run.meas);
+            println!("static: {} instructions, codegen {:#?}", run.static_insts, run.stats);
+        }
     }
 
-    let run = exp.run(&src, args.machine).map_err(|e| e.to_string())?;
-    println!("exit value: {}", run.exit);
-    if args.stats {
-        print_meas(args.machine.name(), &run.meas);
-        println!("static: {} instructions, codegen {:#?}", run.static_insts, run.stats);
+    if let (Some(path), Some(report)) = (&args.profile, &report) {
+        std::fs::write(path, report.to_json(10, true))
+            .map_err(|e| format!("write {path}: {e}"))?;
+        eprintln!("profile written to {path}");
     }
     Ok(())
 }
@@ -186,7 +259,7 @@ fn usage() {
     eprintln!(
         "usage: brcc [--machine base|br] [--emit asm|ir] [--compare] [--stats]\n\
          \t[--bregs N] [--no-hoist] [--fused-compare] [--fuel N] [--jobs N]\n\
-         \t[--verify|--no-verify] <file.mc | workload>"
+         \t[--verify|--no-verify] [--profile FILE] <file.mc | workload>"
     );
 }
 

@@ -1,0 +1,21 @@
+/* Coverage fixture: keeps the bitwise-or encoding live in the corpus.
+ * No Appendix I program executes a plain `|` (address formation uses
+ * the separate `orlo` encoding), so the ISA-coverage gate needs this
+ * kernel; `srl` is unreachable from MiniC entirely and is covered by
+ * br-prof's hand-built IR kernel instead. */
+int g0;
+int g1;
+
+int mix(int a, int b) {
+    return (a | b) ^ (a & b);
+}
+
+int main() {
+    int acc = 0;
+    for (int i = 1; i < 64; i = i << 1) {
+        acc = acc | i;
+        g0 = g0 | (acc & 21);
+        g1 = mix(acc, i + 3);
+    }
+    return (acc + g0 + g1) % 256;
+}

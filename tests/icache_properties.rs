@@ -1,0 +1,195 @@
+//! Property tests for the `br-icache` simulator: conservation laws that
+//! must hold on *any* fetch/prefetch trace, LRU's stack (inclusion)
+//! property under growing associativity, and seeded-trace determinism.
+
+use br_emu::ExecHook;
+use br_icache::{CacheConfig, CacheStats, ICacheSim};
+use br_workloads::rng::Rng64;
+
+/// Drive a seeded pseudo-random trace of demand fetches and prefetches
+/// with loop-like locality through `sim`; returns the number of
+/// prefetch *calls* made (honoured or not).
+fn drive(sim: &mut ICacheSim, seed: u64, events: usize) -> u64 {
+    let mut rng = Rng64::seed_from_u64(seed);
+    let mut pc: u32 = 0x1000;
+    let mut prefetch_calls = 0u64;
+    for _ in 0..events {
+        if rng.chance(1, 5) {
+            // Branch: jump somewhere in a 4 KiB hot region, sometimes
+            // prefetching the target first (the BR machine's pattern).
+            let target = (0x1000 + (rng.next_u64() as u32 % 0x1000)) & !3;
+            if rng.chance(2, 3) {
+                sim.prefetch(target);
+                prefetch_calls += 1;
+            }
+            pc = target;
+        } else {
+            pc = pc.wrapping_add(4);
+        }
+        sim.fetch(pc);
+    }
+    prefetch_calls
+}
+
+/// The conservation laws every trace must satisfy.
+fn check_invariants(s: &CacheStats, prefetch_calls: u64) {
+    assert_eq!(
+        s.fetches,
+        s.hits + s.misses + s.prefetch_hits + s.late_prefetch_hits,
+        "every demand fetch is exactly one of hit/miss/prefetch-hit/late"
+    );
+    assert_eq!(
+        prefetch_calls,
+        s.prefetches + s.prefetch_dropped + s.prefetch_redundant,
+        "every prefetch call is honoured, dropped, or redundant"
+    );
+    assert_eq!(
+        s.cycles,
+        s.fetches + s.stall_cycles,
+        "one cycle per fetch plus stalls"
+    );
+    assert!(
+        s.prefetch_hits + s.late_prefetch_hits + s.pollution <= s.prefetches,
+        "a prefetched line is used at most once or polluted at most once: \
+         {} + {} + {} > {}",
+        s.prefetch_hits,
+        s.late_prefetch_hits,
+        s.pollution,
+        s.prefetches
+    );
+}
+
+#[test]
+fn random_traces_satisfy_the_conservation_laws() {
+    for seed in 0..16u64 {
+        let mut sim = ICacheSim::new(CacheConfig {
+            sets: 16,
+            assoc: 2,
+            line_words: 4,
+            miss_penalty: 8,
+            prefetch_queue: 4,
+            prefetch: true,
+        });
+        let calls = drive(&mut sim, seed, 4000);
+        let s = *sim.stats();
+        check_invariants(&s, calls);
+        assert!(s.misses > 0, "a 4 KiB region cannot fit a 512 B cache");
+        assert!(s.prefetches > 0, "seed {seed} issued no prefetches");
+    }
+}
+
+#[test]
+fn seeded_traces_are_deterministic() {
+    let cfg = CacheConfig::default();
+    let run = |seed| {
+        let mut sim = ICacheSim::new(cfg);
+        drive(&mut sim, seed, 4000);
+        *sim.stats()
+    };
+    assert_eq!(run(7), run(7), "identical seed, identical stats");
+    assert_ne!(
+        run(7).cycles,
+        run(8).cycles,
+        "different seeds explore different traces"
+    );
+}
+
+/// LRU's inclusion property: at a fixed set count, a more associative
+/// cache's content is a superset of a less associative one's, so misses
+/// can only go down. (Guaranteed for demand fetches; prefetch is
+/// disabled here because its queue pressure is timing-dependent.)
+#[test]
+fn misses_are_monotone_in_associativity() {
+    for seed in 0..8u64 {
+        let mut prev = u64::MAX;
+        for assoc in [1usize, 2, 4, 8] {
+            let mut sim = ICacheSim::new(CacheConfig {
+                sets: 16,
+                assoc,
+                line_words: 4,
+                miss_penalty: 8,
+                prefetch_queue: 4,
+                prefetch: false,
+            });
+            drive(&mut sim, seed, 4000);
+            let misses = sim.stats().misses;
+            assert!(
+                misses <= prev,
+                "seed {seed}: {assoc}-way missed {misses} > {prev} at half the ways"
+            );
+            prev = misses;
+        }
+    }
+}
+
+/// Shrinking the cache (fewer sets, same geometry otherwise) must not
+/// help a loop that thrashes it: on a simple sequential-with-reuse
+/// trace the smaller cache misses at least as often.
+#[test]
+fn shrinking_sets_does_not_reduce_misses_on_a_looping_trace() {
+    let run = |sets| {
+        let mut sim = ICacheSim::new(CacheConfig {
+            sets,
+            assoc: 2,
+            line_words: 4,
+            miss_penalty: 8,
+            prefetch_queue: 4,
+            prefetch: false,
+        });
+        // A 2 KiB loop body, iterated: fits the big cache, not the small.
+        for _ in 0..8 {
+            for pc in (0x1000..0x1800u32).step_by(4) {
+                sim.fetch(pc);
+            }
+        }
+        sim.stats().misses
+    };
+    let big = run(64);
+    let small = run(8);
+    assert!(
+        small >= big,
+        "8-set cache missed {small} < {big} on the 64-set cache"
+    );
+    assert!(small > big, "the loop must actually thrash the small cache");
+}
+
+/// The busy-bit protocol: a demand fetch that arrives while its line is
+/// still filling stalls only for the *remaining* cycles, and a fully
+/// completed prefetch stalls for none. Total stall for a prefetched
+/// line never exceeds the full miss penalty.
+#[test]
+fn prefetch_stall_never_exceeds_the_miss_penalty() {
+    let cfg = CacheConfig {
+        sets: 4,
+        assoc: 1,
+        line_words: 4,
+        miss_penalty: 10,
+        prefetch_queue: 2,
+        prefetch: true,
+    };
+    for gap in 0..=12u32 {
+        let mut sim = ICacheSim::new(cfg);
+        sim.fetch(0x1010); // establish time; set 1
+        sim.prefetch(0x2000); // set 0, ready in 10 cycles
+        for i in 0..gap {
+            sim.fetch(0x1010 + (i % 4) * 4); // burn cycles in set 1
+        }
+        let before = sim.stats().stall_cycles;
+        sim.fetch(0x2000);
+        let stall = sim.stats().stall_cycles - before;
+        assert!(
+            stall <= cfg.miss_penalty as u64,
+            "gap {gap}: stalled {stall} > full penalty"
+        );
+        // The demand fetch itself burns one cycle, so `gap + 1` cycles
+        // elapse between the prefetch and the lookup.
+        if gap + 1 >= cfg.miss_penalty {
+            assert_eq!(stall, 0, "gap {gap} fully hides the fill");
+            assert_eq!(sim.stats().prefetch_hits, 1);
+        } else {
+            assert_eq!(sim.stats().late_prefetch_hits, 1, "gap {gap} is late");
+            assert!(stall > 0, "gap {gap}: a late hit still stalls some");
+        }
+        check_invariants(sim.stats(), 1);
+    }
+}

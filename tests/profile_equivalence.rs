@@ -1,0 +1,99 @@
+//! Guards the observability tentpole's core invariant: profiling only
+//! *observes*. Every Appendix I program, on both machines, must produce
+//! byte-identical exit values and [`Measurements`] whether it runs on
+//! the hook-free fast path or under the full [`ProfileHook`] — and the
+//! profile itself must account for every retired instruction.
+
+use br_core::{suite, Experiment, Machine, Scale};
+use br_emu::Emulator;
+use br_obs::ProfileHook;
+
+const FUEL: u64 = 1_000_000_000;
+
+#[test]
+fn suite_measurements_identical_under_profiling() {
+    let exp = Experiment::new();
+    for w in suite(Scale::Test) {
+        for machine in [Machine::Baseline, Machine::BranchReg] {
+            let (prog, _) = exp
+                .compile(&w.source, machine)
+                .unwrap_or_else(|e| panic!("{} on {machine}: {e}", w.name));
+
+            // Hook-free fast path.
+            let mut fast = Emulator::new(&prog);
+            let fast_exit = fast.run(FUEL).expect("fast run");
+
+            // The same binary under the profiler.
+            let mut profiled = Emulator::new(&prog);
+            let mut hook = ProfileHook::new(&prog);
+            let prof_exit = profiled
+                .run_with_hook(FUEL, &mut hook)
+                .expect("profiled run");
+
+            assert_eq!(fast_exit, prof_exit, "{} exit on {machine}", w.name);
+            assert_eq!(
+                fast.measurements(),
+                profiled.measurements(),
+                "{} measurements under ProfileHook on {machine}",
+                w.name
+            );
+
+            // Full attribution: one retire per instruction, every retire
+            // lands in an opcode bucket and a codegen basic block, and
+            // nothing executed that was never emitted.
+            let m = profiled.measurements().clone();
+            let p = hook.finish(w.name, &m);
+            assert_eq!(p.retired, m.instructions, "{} retires on {machine}", w.name);
+            assert_eq!(
+                p.opcodes.iter().sum::<u64>(),
+                p.retired,
+                "{} opcode attribution on {machine}",
+                w.name
+            );
+            assert_eq!(
+                p.blocks.iter().map(|(_, n)| n).sum::<u64>(),
+                p.retired,
+                "{} block attribution on {machine}",
+                w.name
+            );
+            assert_eq!(
+                p.coverage.executed & !p.coverage.emitted,
+                0,
+                "{} executed ⊆ emitted on {machine}",
+                w.name
+            );
+            assert_eq!(
+                p.breg.is_some(),
+                machine == Machine::BranchReg,
+                "{} breg stats only on the BR machine",
+                w.name
+            );
+        }
+    }
+}
+
+/// The metered compile pipeline must emit the same binary as the plain
+/// one — metering reads the clock, never the program.
+#[test]
+fn metered_compile_is_byte_identical() {
+    let exp = Experiment::new();
+    for w in suite(Scale::Test).into_iter().take(6) {
+        let module = br_frontend::compile(&w.source).expect("frontend");
+        for machine in [Machine::Baseline, Machine::BranchReg] {
+            let (plain, plain_stats) = exp
+                .compile_module_for(&module, machine)
+                .unwrap_or_else(|e| panic!("{} on {machine}: {e}", w.name));
+            let (metered, metered_stats, metrics) = exp
+                .compile_module_metered(&module, machine)
+                .unwrap_or_else(|e| panic!("{} metered on {machine}: {e}", w.name));
+            assert_eq!(plain.code, metered.code, "{} code on {machine}", w.name);
+            assert_eq!(plain_stats, metered_stats, "{} stats on {machine}", w.name);
+            assert_eq!(
+                metrics.funcs,
+                module.functions.len(),
+                "{} metered every function on {machine}",
+                w.name
+            );
+        }
+    }
+}
