@@ -129,6 +129,17 @@ impl BrOptions {
         let caller = avail[half..].to_vec();
         (callee, caller)
     }
+
+    /// A stable, dense encoding of every field, for content-addressed
+    /// artifact caching: two option sets produce the same fingerprint
+    /// iff they generate identical code for the same IR. Bit layout:
+    /// `num_bregs` in the low byte, then one bit per toggle.
+    pub fn fingerprint(&self) -> u64 {
+        u64::from(self.num_bregs)
+            | (u64::from(self.hoisting) << 8)
+            | (u64::from(self.noop_replacement) << 9)
+            | (u64::from(self.fused_compare) << 10)
+    }
 }
 
 /// Options for baseline code generation (ablations).
@@ -147,9 +158,35 @@ impl Default for BaseOptions {
     }
 }
 
+impl BaseOptions {
+    /// Stable dense field encoding for artifact caching; see
+    /// [`BrOptions::fingerprint`].
+    pub fn fingerprint(&self) -> u64 {
+        u64::from(self.fill_delay_slots)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn option_fingerprints_separate_every_field() {
+        let base = BrOptions::default();
+        let variants = [
+            BrOptions { num_bregs: 4, ..base },
+            BrOptions { hoisting: false, ..base },
+            BrOptions { noop_replacement: false, ..base },
+            BrOptions { fused_compare: true, ..base },
+        ];
+        for v in &variants {
+            assert_ne!(v.fingerprint(), base.fingerprint(), "{v:?}");
+        }
+        assert_ne!(
+            BaseOptions { fill_delay_slots: false }.fingerprint(),
+            BaseOptions::default().fingerprint()
+        );
+    }
 
     #[test]
     fn register_pools_do_not_overlap_reserved() {

@@ -47,6 +47,14 @@ pub enum CompileError {
     Verify(VerifyError),
     /// Assembler error (encoding, relocation, layout).
     Asm(String),
+    /// The caller's compile deadline expired between pipeline stages
+    /// (see [`Experiment::compile_module_budgeted`]). Always a resource
+    /// decision, never a defect: the same input compiles fine with a
+    /// larger budget.
+    Deadline {
+        /// Milliseconds the compile had run when the budget check fired.
+        elapsed_ms: u64,
+    },
 }
 
 impl fmt::Display for CompileError {
@@ -56,6 +64,9 @@ impl fmt::Display for CompileError {
             CompileError::Codegen(e) => write!(f, "codegen: {e}"),
             CompileError::Verify(e) => write!(f, "verify: {e}"),
             CompileError::Asm(e) => write!(f, "assembler: {e}"),
+            CompileError::Deadline { elapsed_ms } => {
+                write!(f, "compile deadline exceeded after {elapsed_ms} ms")
+            }
         }
     }
 }
@@ -303,6 +314,70 @@ impl Experiment {
                 GatedError::Gate(never) => match never {},
             })
         }
+    }
+
+    /// [`Experiment::compile_module_for`] under a wall-clock budget:
+    /// identical output when the budget holds, a typed
+    /// [`CompileError::Deadline`] when it expires. The check runs
+    /// cooperatively at every pipeline-stage gate (before each
+    /// function's selection, after its allocation and emission), so a
+    /// pathological module stops within one stage of the deadline
+    /// instead of hanging the caller — no threads are aborted. Verify
+    /// gates still run when [`Experiment::verify`] is set. `None`
+    /// disables the budget entirely.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Experiment::compile_module_for`], plus
+    /// [`CompileError::Deadline`].
+    pub fn compile_module_budgeted(
+        &self,
+        module: &br_ir::Module,
+        machine: Machine,
+        deadline: Option<std::time::Instant>,
+    ) -> Result<(Program, CodegenStats), Error> {
+        enum GateErr {
+            Deadline { elapsed_ms: u64 },
+            Verify(VerifyError),
+        }
+        let started = std::time::Instant::now();
+        let verify = self.verify;
+        let gate = move |stage: br_codegen::Stage<'_>| -> Result<(), GateErr> {
+            if let Some(d) = deadline {
+                if std::time::Instant::now() >= d {
+                    return Err(GateErr::Deadline {
+                        elapsed_ms: started.elapsed().as_millis() as u64,
+                    });
+                }
+            }
+            if verify {
+                br_verify::check_stage(stage).map_err(GateErr::Verify)
+            } else {
+                Ok(())
+            }
+        };
+        let to_compile = |e: br_codegen::GatedError<GateErr>| match e {
+            br_codegen::GatedError::Codegen(c) => CompileError::Codegen(c),
+            br_codegen::GatedError::Gate(GateErr::Deadline { elapsed_ms }) => {
+                CompileError::Deadline { elapsed_ms }
+            }
+            br_codegen::GatedError::Gate(GateErr::Verify(v)) => CompileError::Verify(v),
+        };
+        let mut select_gate = gate;
+        let batch = br_codegen::select_module_with(
+            module,
+            machine,
+            self.base_opts,
+            self.br_opts,
+            &mut select_gate,
+        )
+        .map_err(to_compile)?;
+        let out = self.finish_batch(batch, &select_gate).map_err(to_compile)?;
+        let prog = out
+            .asm
+            .assemble()
+            .map_err(|e| CompileError::Asm(e.to_string()))?;
+        Ok((prog, out.stats))
     }
 
     /// [`Experiment::compile_module_for`] through the metered pipeline:
@@ -673,6 +748,46 @@ mod tests {
                     .unwrap_or_else(|e| panic!("{} on {m:?}: {e}", w.name));
             }
         }
+    }
+
+    #[test]
+    fn budgeted_compile_matches_unbudgeted_and_expires_typed() {
+        let src = "int main() { int s = 0; for (int i = 0; i < 9; i++) s += i; return s; }";
+        let module = br_frontend::compile(src).unwrap();
+        let exp = Experiment::new();
+        for m in [Machine::Baseline, Machine::BranchReg] {
+            // A generous budget produces byte-identical output.
+            let far = std::time::Instant::now() + std::time::Duration::from_secs(600);
+            let (plain, pstats) = exp.compile_module_for(&module, m).unwrap();
+            let (budgeted, bstats) = exp.compile_module_budgeted(&module, m, Some(far)).unwrap();
+            assert_eq!(plain.code, budgeted.code, "{m}");
+            assert_eq!(pstats, bstats, "{m}");
+            // An already-expired budget reports the typed deadline error.
+            let past = std::time::Instant::now();
+            match exp.compile_module_budgeted(&module, m, Some(past)) {
+                Err(Error::Compile(CompileError::Deadline { .. })) => {}
+                other => panic!("expected Deadline on {m}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn compile_error_displays_are_self_contained() {
+        // Every variant renders a human sentence with no `{:?}` leakage —
+        // these strings cross the br-serve wire to clients.
+        let deadline = CompileError::Deadline { elapsed_ms: 41 };
+        assert_eq!(deadline.to_string(), "compile deadline exceeded after 41 ms");
+        let asm = CompileError::Asm("duplicate label".into());
+        assert_eq!(asm.to_string(), "assembler: duplicate label");
+        let mismatch = Error::Mismatch {
+            name: "wc".into(),
+            baseline: 3,
+            brmach: 4,
+        };
+        assert_eq!(
+            mismatch.to_string(),
+            "machines disagree on wc: baseline=3 branch-register=4"
+        );
     }
 
     #[test]

@@ -1404,4 +1404,29 @@ mod tests {
         assert_eq!(emu.read_word(u32::MAX), None);
         assert_eq!(emu.read_word(u32::MAX - 3), None);
     }
+
+    #[test]
+    fn error_displays_are_self_contained() {
+        // These messages cross the br-serve wire verbatim, so every
+        // variant must read as a complete sentence fragment with its
+        // context (pc/addr) inlined — no `{:?}` renderings.
+        let cases = [
+            (EmuError::BadFetch(0x40), "bad instruction fetch at 0x40"),
+            (EmuError::ExecutedData(0x44), "executed data word at 0x44"),
+            (
+                EmuError::BadMem { pc: 0x48, addr: 0x1000 },
+                "bad memory access to 0x1000 at pc 0x48",
+            ),
+            (EmuError::DivByZero(0x4c), "division by zero at pc 0x4c"),
+            (EmuError::OutOfFuel, "instruction budget exhausted"),
+            (
+                EmuError::BranchInDelaySlot(0x50),
+                "branch in delay slot at 0x50",
+            ),
+            (EmuError::WrongMachine(0x54), "illegal instruction at 0x54"),
+        ];
+        for (e, want) in cases {
+            assert_eq!(e.to_string(), want);
+        }
+    }
 }

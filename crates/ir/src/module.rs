@@ -323,6 +323,44 @@ impl Module {
         }
         Ok(())
     }
+
+    /// A stable 64-bit content fingerprint of the module: FNV-1a over
+    /// the textual IR rendering plus every global's initializer bytes
+    /// (the rendering names globals but elides their contents). Two
+    /// modules with the same fingerprint compile to the same code under
+    /// the same codegen options — this is the content-address the
+    /// `br-serve` artifact cache keys compiled programs by. The hash is
+    /// platform- and toolchain-independent: it folds only the bytes of
+    /// the deterministic `Display` output and the initializer words.
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut fold = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        fold(self.to_string().as_bytes());
+        for g in &self.globals {
+            fold(g.name.as_bytes());
+            match &g.init {
+                GlobalInit::Zero => fold(&[0]),
+                GlobalInit::Bytes(b) => {
+                    fold(&[1]);
+                    fold(b);
+                }
+                GlobalInit::Words(ws) => {
+                    fold(&[2]);
+                    for w in ws {
+                        fold(&w.to_le_bytes());
+                    }
+                }
+            }
+        }
+        h
+    }
 }
 
 impl fmt::Display for Module {
@@ -383,6 +421,40 @@ mod tests {
     #[test]
     fn validate_accepts_well_formed() {
         assert_eq!(ret42().validate(), Ok(()));
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_content_sensitive() {
+        let mut a = Module::new();
+        a.add_function(ret42());
+        let mut b = Module::new();
+        b.add_function(ret42());
+        assert_eq!(a.fingerprint(), b.fingerprint(), "same content, same key");
+
+        // A change the rendering shows moves the fingerprint.
+        let mut c = Module::new();
+        let mut f = ret42();
+        f.blocks[0].insts = vec![Inst::Ret(Some(Operand::Const(43)))];
+        c.add_function(f);
+        assert_ne!(a.fingerprint(), c.fingerprint());
+
+        // A change only in initializer bytes (invisible to Display)
+        // still moves the fingerprint.
+        let mut d1 = Module::new();
+        d1.add_global(Global {
+            name: "g".into(),
+            ty: Ty::Int,
+            init: GlobalInit::Words(vec![1]),
+        });
+        d1.add_function(ret42());
+        let mut d2 = Module::new();
+        d2.add_global(Global {
+            name: "g".into(),
+            ty: Ty::Int,
+            init: GlobalInit::Words(vec![2]),
+        });
+        d2.add_function(ret42());
+        assert_ne!(d1.fingerprint(), d2.fingerprint());
     }
 
     #[test]

@@ -1,0 +1,326 @@
+//! On-disk artifact format for cached compilations.
+//!
+//! An artifact file is `b"BRA1"` + an FNV-1a 64 checksum + a body
+//! holding everything needed to rebuild a [`Program`] and its
+//! [`CodegenStats`]. The checksum covers the whole body, so a flipped
+//! bit, truncated write, or partially overwritten file is detected on
+//! load and the cache quarantines the file instead of serving garbage.
+//!
+//! The pre-decoded `text` segment is *not* stored: an instruction word
+//! and a jump-table data word can carry identical bit patterns, so the
+//! body records a data-word bitmap and the loader re-decodes every
+//! non-data word through [`br_isa::decode`]. That also means a stale
+//! artifact written by an older encoder fails loudly (decode error →
+//! quarantine) rather than silently misexecuting.
+
+use crate::wire::{fnv1a, Dec, Enc, WireError};
+use br_core::CodegenStats;
+use br_isa::{BlockMark, Machine, Program, TextWord};
+
+/// File magic: "branch-register artifact, version 1".
+pub const MAGIC: &[u8; 4] = b"BRA1";
+
+/// Why an artifact failed to load. Every variant means "recompile";
+/// the cache additionally quarantines the file for the corrupt ones.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArtifactError {
+    /// The file does not start with [`MAGIC`] — not an artifact at all,
+    /// or a format-versioned one from a different encoder.
+    BadMagic,
+    /// The body checksum did not match: bit rot or a torn write.
+    Checksum { expected: u64, found: u64 },
+    /// The body parsed incompletely or inconsistently.
+    Malformed(String),
+    /// A text word failed instruction decode — the artifact was
+    /// written for a different ISA revision.
+    Decode(String),
+}
+
+impl std::fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArtifactError::BadMagic => write!(f, "artifact: bad magic"),
+            ArtifactError::Checksum { expected, found } => write!(
+                f,
+                "artifact: checksum mismatch (expected {expected:#018x}, found {found:#018x})"
+            ),
+            ArtifactError::Malformed(m) => write!(f, "artifact: malformed body: {m}"),
+            ArtifactError::Decode(m) => write!(f, "artifact: undecodable text word: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {}
+
+impl From<WireError> for ArtifactError {
+    fn from(e: WireError) -> ArtifactError {
+        ArtifactError::Malformed(e.0)
+    }
+}
+
+fn machine_tag(m: Machine) -> u8 {
+    match m {
+        Machine::Baseline => 0,
+        Machine::BranchReg => 1,
+    }
+}
+
+/// Serialize a compiled program and its stats into artifact bytes.
+/// The output is deterministic for a given input (symbols are sorted),
+/// so identical compiles produce byte-identical artifacts.
+pub fn serialize(prog: &Program, stats: &CodegenStats) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.u8(machine_tag(prog.machine));
+    e.u32(prog.entry);
+
+    e.u32(prog.code.len() as u32);
+    for &w in &prog.code {
+        e.u32(w);
+    }
+    // Data-word bitmap: bit i set ⇔ text word i is embedded data.
+    let mut bitmap = vec![0u8; prog.code.len().div_ceil(8)];
+    for (i, w) in prog.text.iter().enumerate() {
+        if matches!(w, TextWord::Data(_)) {
+            bitmap[i / 8] |= 1 << (i % 8);
+        }
+    }
+    e.bytes(&bitmap);
+
+    e.bytes(&prog.data);
+
+    let mut symbols: Vec<(&String, &u32)> = prog.symbols.iter().collect();
+    symbols.sort();
+    e.u32(symbols.len() as u32);
+    for (name, &addr) in symbols {
+        e.str(name);
+        e.u32(addr);
+    }
+
+    e.u32(prog.blocks.len() as u32);
+    for b in &prog.blocks {
+        e.u32(b.word);
+        e.str(&b.func);
+        match b.label {
+            None => e.u8(0),
+            Some(l) => {
+                e.u8(1);
+                e.u32(l);
+            }
+        }
+    }
+
+    for v in [
+        stats.slots_filled,
+        stats.slots_noop,
+        stats.carriers_useful,
+        stats.carriers_replaced_by_calc,
+        stats.carriers_noop,
+        stats.hoisted_calcs,
+    ] {
+        e.u32(v);
+    }
+
+    let body = e.finish();
+    let mut out = Vec::with_capacity(4 + 8 + body.len());
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&fnv1a(&body).to_le_bytes());
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Load an artifact, verifying magic and checksum, re-decoding the
+/// text segment from code words.
+pub fn deserialize(bytes: &[u8]) -> Result<(Program, CodegenStats), ArtifactError> {
+    if bytes.len() < 12 || &bytes[..4] != MAGIC {
+        return Err(ArtifactError::BadMagic);
+    }
+    let expected = u64::from_le_bytes(bytes[4..12].try_into().unwrap());
+    let body = &bytes[12..];
+    let found = fnv1a(body);
+    if found != expected {
+        return Err(ArtifactError::Checksum { expected, found });
+    }
+
+    let mut d = Dec::new(body);
+    let machine = match d.u8()? {
+        0 => Machine::Baseline,
+        1 => Machine::BranchReg,
+        other => return Err(ArtifactError::Malformed(format!("bad machine tag {other}"))),
+    };
+    let entry = d.u32()?;
+
+    let ncode = d.u32()? as usize;
+    let mut code = Vec::with_capacity(ncode);
+    for _ in 0..ncode {
+        code.push(d.u32()?);
+    }
+    let bitmap = d.bytes()?;
+    if bitmap.len() != ncode.div_ceil(8) {
+        return Err(ArtifactError::Malformed(format!(
+            "data bitmap holds {} bytes for {ncode} words",
+            bitmap.len()
+        )));
+    }
+    let mut text = Vec::with_capacity(ncode);
+    for (i, &w) in code.iter().enumerate() {
+        if bitmap[i / 8] & (1 << (i % 8)) != 0 {
+            text.push(TextWord::Data(w));
+        } else {
+            let inst = br_isa::decode(machine, w)
+                .map_err(|e| ArtifactError::Decode(format!("word {i}: {e}")))?;
+            text.push(TextWord::Inst(inst));
+        }
+    }
+
+    let data = d.bytes()?.to_vec();
+
+    let nsyms = d.u32()? as usize;
+    let mut symbols = std::collections::HashMap::with_capacity(nsyms);
+    for _ in 0..nsyms {
+        let name = d.str()?;
+        let addr = d.u32()?;
+        symbols.insert(name, addr);
+    }
+
+    let nblocks = d.u32()? as usize;
+    let mut blocks = Vec::with_capacity(nblocks);
+    for _ in 0..nblocks {
+        let word = d.u32()?;
+        let func = d.str()?;
+        let label = match d.u8()? {
+            0 => None,
+            1 => Some(d.u32()?),
+            other => return Err(ArtifactError::Malformed(format!("bad label tag {other}"))),
+        };
+        blocks.push(BlockMark { word, func, label });
+    }
+
+    let stats = CodegenStats {
+        slots_filled: d.u32()?,
+        slots_noop: d.u32()?,
+        carriers_useful: d.u32()?,
+        carriers_replaced_by_calc: d.u32()?,
+        carriers_noop: d.u32()?,
+        hoisted_calcs: d.u32()?,
+    };
+    d.done()?;
+
+    Ok((
+        Program {
+            machine,
+            code,
+            text,
+            data,
+            entry,
+            symbols,
+            blocks,
+        },
+        stats,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use br_core::{Experiment, Machine};
+
+    fn compiled() -> (Program, CodegenStats) {
+        // A program with a switch so the text segment contains real
+        // jump-table data words — the case the bitmap exists for.
+        let src = r#"
+            int pick(int x) {
+                switch (x) {
+                    case 0: return 10;
+                    case 1: return 22;
+                    case 2: return 31;
+                    case 3: return 44;
+                    case 4: return 59;
+                    default: return -1;
+                }
+            }
+            int main() {
+                int i; int acc;
+                acc = 0;
+                for (i = 0; i < 6; i = i + 1) acc = acc + pick(i);
+                return acc;
+            }
+        "#;
+        Experiment::new()
+            .compile(src, Machine::BranchReg)
+            .expect("fixture compiles")
+    }
+
+    #[test]
+    fn roundtrip_preserves_program_and_stats() {
+        let (prog, stats) = compiled();
+        assert!(
+            prog.text.iter().any(|w| matches!(w, TextWord::Data(_))),
+            "fixture must embed jump-table data words"
+        );
+        let bytes = serialize(&prog, &stats);
+        let (p2, s2) = deserialize(&bytes).expect("roundtrip");
+        assert_eq!(p2.machine, prog.machine);
+        assert_eq!(p2.code, prog.code);
+        assert_eq!(p2.text, prog.text, "data words survive as data");
+        assert_eq!(p2.data, prog.data);
+        assert_eq!(p2.entry, prog.entry);
+        assert_eq!(p2.symbols, prog.symbols);
+        assert_eq!(p2.blocks, prog.blocks);
+        assert_eq!(s2, stats);
+
+        // Deserialized artifact runs identically to the original.
+        let mut a = br_emu::Emulator::new(&prog);
+        let mut b = br_emu::Emulator::new(&p2);
+        assert_eq!(a.run(1_000_000).unwrap(), b.run(1_000_000).unwrap());
+        assert_eq!(a.measurements(), b.measurements());
+    }
+
+    #[test]
+    fn serialization_is_deterministic() {
+        let (prog, stats) = compiled();
+        assert_eq!(serialize(&prog, &stats), serialize(&prog, &stats));
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        let (prog, stats) = compiled();
+        let bytes = serialize(&prog, &stats);
+        // Flip one bit in a sample of positions across the file; the
+        // loader must never return Ok (magic, checksum, or parse error).
+        for pos in (0..bytes.len()).step_by(97) {
+            let mut corrupt = bytes.clone();
+            corrupt[pos] ^= 0x10;
+            assert!(
+                deserialize(&corrupt).is_err(),
+                "flip at byte {pos} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected_at_every_length() {
+        let (prog, stats) = compiled();
+        let bytes = serialize(&prog, &stats);
+        for cut in [0, 3, 4, 11, 12, bytes.len() / 2, bytes.len() - 1] {
+            assert!(deserialize(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn error_displays_are_self_contained() {
+        let errs = [
+            ArtifactError::BadMagic,
+            ArtifactError::Checksum {
+                expected: 1,
+                found: 2,
+            },
+            ArtifactError::Malformed("x".into()),
+            ArtifactError::Decode("y".into()),
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(s.starts_with("artifact: "), "{s}");
+            assert!(!s.contains("{:?}"));
+        }
+    }
+}

@@ -1,0 +1,471 @@
+//! br-load — client, load generator, smoke prober, and benchmark for
+//! the `br-serve` daemon.
+//!
+//! ```text
+//! br-load --addr HOST:PORT [--requests N] [--threads N] [--seed N]   # load run
+//! br-load --addr HOST:PORT --smoke [--chaos]                         # CI smoke
+//! br-load --addr HOST:PORT --shutdown                                # drain server
+//! br-load --bench [--requests N] [--threads N]                       # in-process bench
+//!         [--record seed|current] [--check RATIO] [--out PATH] [--baseline PATH]
+//! ```
+//!
+//! The load and bench modes drive Appendix I suite programs (Test
+//! scale) through `Run` requests on both machines, with the shared
+//! retry/backoff policy, and report requests/sec, p50/p99 latency, and
+//! the server's cache hit rate. `--bench` spawns an in-process server
+//! so the numbers do not depend on an external daemon, and maintains
+//! `BENCH_serve.json` in the br-bench seed/current tracker idiom:
+//! `--record` stamps a section, `--check RATIO` exits nonzero when
+//! throughput falls below `RATIO ×` the value recorded in the
+//! `--baseline` tracker (default: the repo-root `BENCH_serve.json`),
+//! mirroring the br-bench perf gate.
+//!
+//! The smoke mode is the ci.sh end-to-end probe: it checks liveness,
+//! correctness of a differential run, typed error classification for a
+//! bad program, and — with `--chaos` — that a worker panic yields a
+//! typed `Internal` response and the server keeps answering afterwards.
+
+use std::process::ExitCode;
+use std::time::{Duration, Instant, SystemTime};
+
+use br_serve::proto::{ErrorKind, Request, Response, RunSpec, ServerStats, Target};
+use br_serve::{request_with_retry, spawn, Client, RetryPolicy, ServeConfig};
+use br_workloads::rng::Rng64;
+use br_workloads::{suite, Scale, Workload};
+
+struct Args {
+    addr: Option<String>,
+    requests: usize,
+    threads: usize,
+    seed: u64,
+    smoke: bool,
+    chaos: bool,
+    shutdown: bool,
+    bench: bool,
+    record: String,
+    check: Option<f64>,
+    out: String,
+    baseline: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        addr: None,
+        requests: 200,
+        threads: 4,
+        seed: 0x5eed,
+        smoke: false,
+        chaos: false,
+        shutdown: false,
+        bench: false,
+        record: "current".to_string(),
+        check: None,
+        out: "BENCH_serve.json".to_string(),
+        baseline: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => args.addr = it.next(),
+            "--requests" => args.requests = it.next().and_then(|v| v.parse().ok()).unwrap_or(200),
+            "--threads" => args.threads = it.next().and_then(|v| v.parse().ok()).unwrap_or(4),
+            "--seed" => args.seed = it.next().and_then(|v| v.parse().ok()).unwrap_or(0x5eed),
+            "--smoke" => args.smoke = true,
+            "--chaos" => args.chaos = true,
+            "--shutdown" => args.shutdown = true,
+            "--bench" => args.bench = true,
+            "--record" => args.record = it.next().unwrap_or_else(|| "current".into()),
+            "--check" => args.check = it.next().and_then(|v| v.parse().ok()),
+            "--out" => args.out = it.next().unwrap_or_else(|| "BENCH_serve.json".into()),
+            "--baseline" => args.baseline = it.next(),
+            other => {
+                eprintln!("br-load: unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn run_spec(w: &Workload, no_cache: bool) -> Request {
+    Request::Run(RunSpec {
+        name: w.name.to_string(),
+        src: w.source.clone(),
+        target: Target::Both,
+        fuel: 0,
+        compile_budget_ms: 0,
+        no_cache,
+    })
+}
+
+/// Drive `requests` suite runs across `threads` connections; returns
+/// sorted per-request latencies (µs) and the error count.
+fn drive(addr: &str, requests: usize, threads: usize, seed: u64) -> (Vec<u64>, usize) {
+    let progs = suite(Scale::Test);
+    let threads = threads.max(1);
+    let per = requests.div_ceil(threads);
+    let mut all = Vec::with_capacity(requests);
+    let mut errors = 0usize;
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let progs = &progs;
+            handles.push(s.spawn(move || {
+                let policy = RetryPolicy::default();
+                let mut rng = Rng64::seed_from_u64(seed ^ (t as u64) << 32);
+                let mut lat = Vec::with_capacity(per);
+                let mut errs = 0usize;
+                for i in 0..per {
+                    let w = &progs[(t * per + i) % progs.len()];
+                    let start = Instant::now();
+                    match request_with_retry(addr, &run_spec(w, false), &policy, &mut rng) {
+                        Ok(Response::RunOk(_)) => {
+                            lat.push(start.elapsed().as_micros() as u64)
+                        }
+                        Ok(_) | Err(_) => errs += 1,
+                    }
+                }
+                (lat, errs)
+            }));
+        }
+        for h in handles {
+            let (lat, errs) = h.join().expect("load thread");
+            all.extend(lat);
+            errors += errs;
+        }
+    });
+    all.sort_unstable();
+    (all, errors)
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn fetch_stats(addr: &str) -> Option<ServerStats> {
+    let mut c = Client::connect(addr, Duration::from_secs(10)).ok()?;
+    match c.request(&Request::Stats) {
+        Ok(Response::Stats(s)) => Some(s),
+        _ => None,
+    }
+}
+
+fn cache_hit_pct(s: &ServerStats) -> f64 {
+    let looked = s.cache_hits + s.cache_disk_hits + s.cache_misses;
+    if looked == 0 {
+        0.0
+    } else {
+        100.0 * (s.cache_hits + s.cache_disk_hits) as f64 / looked as f64
+    }
+}
+
+// ---------------------------------------------------------------- smoke
+
+macro_rules! expect {
+    ($cond:expr, $($msg:tt)*) => {
+        if !$cond {
+            eprintln!("br-load smoke FAIL: {}", format!($($msg)*));
+            return ExitCode::FAILURE;
+        }
+    };
+}
+
+fn smoke(addr: &str, chaos: bool) -> ExitCode {
+    let timeout = Duration::from_secs(30);
+    let mut c = match Client::connect(addr, timeout) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("br-load smoke FAIL: connect {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    expect!(
+        matches!(c.request(&Request::Ping), Ok(Response::Pong)),
+        "ping did not pong"
+    );
+
+    // A differential run must agree across machines and match locally
+    // computed ground truth.
+    let progs = suite(Scale::Test);
+    let w = &progs[0];
+    match c.request(&run_spec(w, false)) {
+        Ok(Response::RunOk(replies)) => {
+            expect!(replies.len() == 2, "expected 2 machine replies");
+            expect!(
+                replies[0].exit == replies[1].exit,
+                "machines disagree over the wire"
+            );
+            let local = br_core::Experiment::new()
+                .run_comparison(w.name, &w.source)
+                .expect("local ground truth");
+            expect!(
+                replies[0].exit == local.baseline.exit,
+                "server exit {} != local exit {}",
+                replies[0].exit,
+                local.baseline.exit
+            );
+            expect!(
+                replies[0].meas == local.baseline.meas
+                    && replies[1].meas == local.brmach.meas,
+                "server measurements differ from local run"
+            );
+        }
+        other => {
+            eprintln!("br-load smoke FAIL: run returned {other:?}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    // A broken program must come back as a typed Frontend error.
+    let bad = Request::Run(RunSpec {
+        name: "bad".into(),
+        src: "int main( {".into(),
+        target: Target::Both,
+        fuel: 0,
+        compile_budget_ms: 0,
+        no_cache: false,
+    });
+    expect!(
+        matches!(
+            c.request(&bad),
+            Ok(Response::Error { kind: ErrorKind::Frontend, .. })
+        ),
+        "syntax error was not classified Frontend"
+    );
+
+    // A tiny fuel budget must come back as a typed emulation deadline.
+    let starved = Request::Run(RunSpec {
+        name: "starved".into(),
+        src: "int main() { int i; for (i = 0; i < 100000; i = i + 1) {} return 0; }".into(),
+        target: Target::Baseline,
+        fuel: 10,
+        compile_budget_ms: 0,
+        no_cache: true,
+    });
+    expect!(
+        matches!(
+            c.request(&starved),
+            Ok(Response::Error { kind: ErrorKind::DeadlineEmu, .. })
+        ),
+        "fuel exhaustion was not classified DeadlineEmu"
+    );
+
+    if chaos {
+        // A worker panic must yield a typed Internal response...
+        expect!(
+            matches!(
+                c.request(&Request::ChaosPanic),
+                Ok(Response::Error { kind: ErrorKind::Internal, .. })
+            ),
+            "chaos panic was not isolated to a typed Internal response"
+        );
+        // ... and the server must still answer on a fresh connection.
+        let mut c2 = Client::connect(addr, timeout).expect("reconnect after panic");
+        expect!(
+            matches!(c2.request(&Request::Ping), Ok(Response::Pong)),
+            "server unresponsive after worker panic"
+        );
+        let stats = fetch_stats(addr).expect("stats after panic");
+        expect!(stats.worker_panics >= 1, "panic not counted");
+        expect!(stats.workers_respawned >= 1, "worker not respawned");
+    }
+
+    eprintln!("br-load smoke OK");
+    ExitCode::SUCCESS
+}
+
+// ---------------------------------------------------------------- bench
+
+fn unix_time() -> u64 {
+    SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+/// Merge a fresh section into the tracker JSON, preserving the section
+/// not being recorded (the br-bench perf.rs idiom).
+fn write_tracker(path: &str, section: &str, record: &str) {
+    let existing = std::fs::read_to_string(path).unwrap_or_default();
+    let (seed, current) = if record == "seed" {
+        (
+            Some(section.to_string()),
+            br_bench::extract_object(&existing, "current"),
+        )
+    } else {
+        (
+            br_bench::extract_object(&existing, "seed"),
+            Some(section.to_string()),
+        )
+    };
+    let mut body = String::from("{\n  \"schema\": \"br-serve-perf-v1\",\n");
+    if let Some(s) = &seed {
+        body.push_str(&format!("  \"seed\": {s},\n"));
+    }
+    if let Some(c) = &current {
+        body.push_str(&format!("  \"current\": {c},\n"));
+    }
+    if let (Some(s), Some(c)) = (&seed, &current) {
+        let s_rps = br_bench::scan_number(s, "requests_per_sec").unwrap_or(0.0);
+        let c_rps = br_bench::scan_number(c, "requests_per_sec").unwrap_or(0.0);
+        if s_rps > 0.0 {
+            body.push_str(&format!(
+                "  \"speedup_vs_seed\": {:.2},\n",
+                c_rps / s_rps
+            ));
+        }
+    }
+    body.push_str(
+        "  \"note\": \"suite Run requests (Test scale, both machines) against an \
+         in-process server, warm cache; latencies are per-request round trips\"\n}\n",
+    );
+    std::fs::write(path, body).expect("write tracker");
+}
+
+fn bench(args: &Args) -> ExitCode {
+    let cfg = ServeConfig {
+        workers: args.threads.max(1),
+        verify: false,
+        ..ServeConfig::default()
+    };
+    let handle = spawn(cfg).expect("spawn in-process server");
+    let addr = handle.addr.to_string();
+
+    // Warm pass: populate the artifact cache so the measured pass
+    // reflects steady-state serving, not first-compile costs.
+    let (_, warm_errors) = drive(&addr, suite(Scale::Test).len(), 1, args.seed);
+    if warm_errors != 0 {
+        eprintln!("br-load bench: {warm_errors} errors during warmup");
+        handle.stop();
+        handle.join();
+        return ExitCode::FAILURE;
+    }
+
+    let start = Instant::now();
+    let (lat, errors) = drive(&addr, args.requests, args.threads, args.seed);
+    let wall = start.elapsed();
+    let stats = fetch_stats(&addr).expect("server stats");
+    handle.stop();
+    handle.join();
+
+    if errors != 0 {
+        eprintln!("br-load bench: {errors} errors during measured pass");
+        return ExitCode::FAILURE;
+    }
+
+    let rps = lat.len() as f64 / wall.as_secs_f64();
+    let p50 = percentile(&lat, 0.50);
+    let p99 = percentile(&lat, 0.99);
+    let hit_pct = cache_hit_pct(&stats);
+
+    println!("br-serve bench ({} requests, {} threads)", lat.len(), args.threads);
+    println!("  throughput  : {rps:.0} requests/sec");
+    println!("  latency     : p50 {p50} us, p99 {p99} us");
+    println!("  cache       : {hit_pct:.1}% hit rate");
+    println!(
+        "  server      : {} ok, {} errors, {} panics",
+        stats.ok, stats.errors, stats.worker_panics
+    );
+
+    let section = format!(
+        "{{\n    \"unix_time\": {},\n    \"requests\": {},\n    \"threads\": {},\n    \
+         \"requests_per_sec\": {:.0},\n    \"p50_us\": {},\n    \"p99_us\": {},\n    \
+         \"cache_hit_pct\": {:.1}\n  }}",
+        unix_time(),
+        lat.len(),
+        args.threads,
+        rps,
+        p50,
+        p99,
+        hit_pct
+    );
+    write_tracker(&args.out, &section, &args.record);
+    println!("  tracker     : {} ({} section updated)", args.out, args.record);
+
+    if let Some(ratio) = args.check {
+        let baseline_path = args.baseline.clone().unwrap_or_else(|| "BENCH_serve.json".into());
+        let baseline = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("--check needs a baseline at {baseline_path}: {e}"));
+        let recorded = br_bench::extract_object(&baseline, "current")
+            .and_then(|c| br_bench::scan_number(&c, "requests_per_sec"))
+            .expect("baseline has current.requests_per_sec");
+        let floor = recorded * ratio;
+        println!(
+            "  check       : {rps:.0} req/sec vs floor {floor:.0} ({ratio} x recorded {recorded:.0})"
+        );
+        if rps < floor {
+            eprintln!("br-load bench: throughput regression (below {ratio} x recorded)");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+// ----------------------------------------------------------------- main
+
+fn main() -> ExitCode {
+    let args = parse_args();
+
+    if args.bench {
+        return bench(&args);
+    }
+
+    let Some(addr) = args.addr.clone() else {
+        eprintln!("br-load: --addr required (or use --bench)");
+        return ExitCode::FAILURE;
+    };
+
+    if args.shutdown {
+        let mut c = match Client::connect(&addr, Duration::from_secs(10)) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("br-load: connect {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return match c.request(&Request::Shutdown) {
+            Ok(Response::ShutdownAck) => {
+                eprintln!("br-load: server draining");
+                ExitCode::SUCCESS
+            }
+            other => {
+                eprintln!("br-load: unexpected shutdown reply: {other:?}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    if args.smoke {
+        return smoke(&addr, args.chaos);
+    }
+
+    let start = Instant::now();
+    let (lat, errors) = drive(&addr, args.requests, args.threads, args.seed);
+    let wall = start.elapsed();
+    let rps = lat.len() as f64 / wall.as_secs_f64();
+    println!(
+        "br-load: {} ok / {} errors in {:.2}s ({rps:.0} req/sec, p50 {} us, p99 {} us)",
+        lat.len(),
+        errors,
+        wall.as_secs_f64(),
+        percentile(&lat, 0.50),
+        percentile(&lat, 0.99),
+    );
+    if let Some(s) = fetch_stats(&addr) {
+        println!(
+            "br-load: server cache hit rate {:.1}%, {} panics, {} respawns",
+            cache_hit_pct(&s),
+            s.worker_panics,
+            s.workers_respawned
+        );
+    }
+    if errors == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,185 @@
+//! Blocking client for the `br-serve` protocol, with the retry policy
+//! the load generator and the chaos harness both use: capped
+//! exponential backoff with deterministic jitter.
+
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use br_workloads::rng::Rng64;
+
+use crate::proto::{Request, Response};
+use crate::wire::{read_frame, write_frame, WireError};
+
+/// A client-side failure (as opposed to a typed error *response*,
+/// which is a successful protocol exchange).
+#[derive(Debug)]
+pub enum ClientError {
+    /// Connect/read/write failed.
+    Io(io::Error),
+    /// The server's bytes did not parse.
+    Wire(WireError),
+    /// The server closed the connection before answering.
+    ServerClosed,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::Wire(e) => write!(f, "protocol error: {e}"),
+            ClientError::ServerClosed => {
+                write!(f, "server closed the connection before responding")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> ClientError {
+        ClientError::Wire(e)
+    }
+}
+
+/// One connection to a `br-serve` daemon.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connect, with a per-operation socket timeout.
+    pub fn connect<A: ToSocketAddrs>(addr: A, timeout: Duration) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        Ok(Client { stream })
+    }
+
+    /// Send one request and read its response.
+    pub fn request(&mut self, req: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.stream, &req.encode())?;
+        match read_frame(&mut self.stream)? {
+            Some(payload) => Ok(Response::decode(&payload)?),
+            None => Err(ClientError::ServerClosed),
+        }
+    }
+}
+
+/// Capped exponential backoff with multiplicative jitter.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included).
+    pub max_attempts: u32,
+    /// Delay before the second attempt, pre-jitter.
+    pub base_delay_ms: u64,
+    /// Ceiling on any single delay, pre-jitter.
+    pub max_delay_ms: u64,
+    /// Socket timeout per attempt.
+    pub io_timeout: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 6,
+            base_delay_ms: 10,
+            max_delay_ms: 1_000,
+            io_timeout: Duration::from_secs(60),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before attempt `attempt` (1-based: the delay taken
+    /// *after* that attempt failed): `base · 2^(attempt-1)`, capped,
+    /// then jittered to 50–150% so a shed burst of clients does not
+    /// return in lockstep and re-overload the server.
+    pub fn backoff_ms(&self, attempt: u32, rng: &mut Rng64) -> u64 {
+        let exp = self
+            .base_delay_ms
+            .saturating_mul(1u64 << attempt.saturating_sub(1).min(20))
+            .min(self.max_delay_ms);
+        // Jitter in [50%, 150%).
+        let jitter_pct = 50 + rng.next_u64() % 100;
+        exp * jitter_pct / 100
+    }
+}
+
+/// Issue `req` with retries. Reconnects on every attempt (the server
+/// closes shed connections) and retries on connection failures and on
+/// typed responses whose kind is [`retryable`](crate::proto::ErrorKind::retryable)
+/// — `Overloaded` and `ShuttingDown`. Every other response, including
+/// typed errors like `Frontend` or `DeadlineEmu`, returns immediately:
+/// retrying a deterministic failure only adds load.
+pub fn request_with_retry(
+    addr: &str,
+    req: &Request,
+    policy: &RetryPolicy,
+    rng: &mut Rng64,
+) -> Result<Response, ClientError> {
+    let mut last_err: Option<ClientError> = None;
+    for attempt in 1..=policy.max_attempts.max(1) {
+        let outcome = Client::connect(addr, policy.io_timeout)
+            .map_err(ClientError::from)
+            .and_then(|mut c| c.request(req));
+        match outcome {
+            Ok(Response::Error { kind, message }) if kind.retryable() => {
+                last_err = Some(ClientError::Io(io::Error::other(format!(
+                    "server declined ({kind:?}): {message}"
+                ))));
+            }
+            Ok(resp) => return Ok(resp),
+            Err(e) => last_err = Some(e),
+        }
+        if attempt < policy.max_attempts {
+            std::thread::sleep(Duration::from_millis(policy.backoff_ms(attempt, rng)));
+        }
+    }
+    Err(last_err.unwrap_or(ClientError::ServerClosed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_caps_and_jitters_within_bounds() {
+        let p = RetryPolicy {
+            max_attempts: 8,
+            base_delay_ms: 10,
+            max_delay_ms: 200,
+            io_timeout: Duration::from_secs(1),
+        };
+        let mut rng = Rng64::seed_from_u64(7);
+        for attempt in 1..=8 {
+            let pre_jitter = (10u64 << (attempt - 1)).min(200);
+            for _ in 0..32 {
+                let d = p.backoff_ms(attempt, &mut rng);
+                assert!(
+                    d >= pre_jitter / 2 && d < pre_jitter + pre_jitter / 2,
+                    "attempt {attempt}: delay {d} outside jitter window of {pre_jitter}"
+                );
+            }
+        }
+        // Deterministic for a fixed seed.
+        let mut a = Rng64::seed_from_u64(3);
+        let mut b = Rng64::seed_from_u64(3);
+        assert_eq!(p.backoff_ms(4, &mut a), p.backoff_ms(4, &mut b));
+    }
+
+    #[test]
+    fn huge_attempt_numbers_do_not_overflow() {
+        let p = RetryPolicy::default();
+        let mut rng = Rng64::seed_from_u64(1);
+        let d = p.backoff_ms(u32::MAX, &mut rng);
+        assert!(d <= p.max_delay_ms + p.max_delay_ms / 2);
+    }
+}

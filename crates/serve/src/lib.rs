@@ -1,0 +1,28 @@
+//! `br-serve`: a fault-tolerant compile-and-emulate daemon for the
+//! branch-registers reproduction.
+//!
+//! The library is split along the daemon's trust boundaries:
+//!
+//! - [`wire`] — length-prefixed framing and the checked binary codec;
+//! - [`proto`] — the request/response vocabulary and the typed
+//!   [`proto::ErrorKind`] taxonomy every failure maps into;
+//! - [`artifact`] — the checksummed on-disk format for compiled
+//!   programs;
+//! - [`cache`] — the content-addressed artifact cache (exactly-once
+//!   compilation, quarantine-and-recompile self-healing);
+//! - [`server`] — acceptor, bounded queue, panic-isolated worker pool;
+//! - [`client`] — blocking client plus the retry/backoff policy.
+//!
+//! Protocol and failure semantics are documented in `SERVE.md` at the
+//! repository root.
+
+pub mod artifact;
+pub mod cache;
+pub mod client;
+pub mod proto;
+pub mod server;
+pub mod wire;
+
+pub use client::{request_with_retry, Client, ClientError, RetryPolicy};
+pub use proto::{ErrorKind, MachineReply, Request, Response, RunSpec, ServerStats, Target};
+pub use server::{spawn, ServeConfig, ServerHandle};

@@ -15,8 +15,8 @@
 use br_emu::{EmuError, Emulator, Fault};
 use br_isa::Machine;
 use br_torture::{
-    check_src_with, count_stmts, gen::GenConfig, generate, iter_seed, minimize, oracle, render,
-    DEFAULT_FUEL,
+    check_src_budgeted, check_src_with, count_stmts, gen::GenConfig, generate, iter_seed,
+    minimize, oracle, render, Divergence, DEFAULT_FUEL,
 };
 
 struct Args {
@@ -25,6 +25,8 @@ struct Args {
     fuel: u64,
     jobs: usize,
     verify: bool,
+    /// Per-case wall budget in milliseconds; 0 = unlimited.
+    budget_ms: u64,
     demo_fault: bool,
     demo_miscompile: bool,
 }
@@ -36,6 +38,7 @@ fn parse_args() -> Result<Args, String> {
         fuel: DEFAULT_FUEL,
         jobs: 1,
         verify: false,
+        budget_ms: 0,
         demo_fault: false,
         demo_miscompile: false,
     };
@@ -56,11 +59,13 @@ fn parse_args() -> Result<Args, String> {
             "--fuel" => args.fuel = num("--fuel")?,
             "--jobs" => args.jobs = num("--jobs")? as usize,
             "--verify" => args.verify = true,
+            "--budget-ms" => args.budget_ms = num("--budget-ms")?,
             "--demo-fault" => args.demo_fault = true,
             "--demo-miscompile" => args.demo_miscompile = true,
             "--help" | "-h" => {
                 return Err("usage: br-torture [--seed N] [--iters M] [--fuel F] \
-                            [--jobs J] [--verify] [--demo-fault] [--demo-miscompile]"
+                            [--jobs J] [--verify] [--budget-ms MS] [--demo-fault] \
+                            [--demo-miscompile]"
                     .into())
             }
             other => return Err(format!("unknown argument `{other}` (try --help)")),
@@ -96,9 +101,11 @@ fn fuzz(args: &Args) -> i32 {
     } else {
         args.jobs
     };
+    let budget_ms = (args.budget_ms > 0).then_some(args.budget_ms);
     let mut base_insts = 0u64;
     let mut br_insts = 0u64;
     let mut stores = 0usize;
+    let mut budget_timeouts = 0u64;
     // Iterations run in blocks fanned across `jobs` threads; each block's
     // results are then consumed strictly in iteration order, so progress
     // lines and the first-divergence report are byte-identical to a
@@ -112,7 +119,8 @@ fn fuzz(args: &Args) -> i32 {
             let s = iter_seed(args.seed, i);
             let ast = generate(s, cfg);
             let src = render(&ast);
-            check_src_with(&src, args.fuel, args.verify).map_err(|d| (s, ast, d))
+            check_src_budgeted(&src, args.fuel, args.verify, budget_ms)
+                .map_err(|d| (s, ast, d))
         });
         for (&i, result) in idxs.iter().zip(results) {
             match result {
@@ -130,6 +138,14 @@ fn fuzz(args: &Args) -> i32 {
                             stores
                         );
                     }
+                }
+                Err((s, _ast, d @ Divergence::Budget { .. })) => {
+                    // A timeout is recorded, not minimized: the case
+                    // is pathological for throughput, not (known to
+                    // be) miscompiled, and re-running the minimizer
+                    // would spend many more budgets.
+                    budget_timeouts += 1;
+                    println!("iteration {i} (seed {s:#x}) TIMED OUT: {d} — recorded, continuing");
                 }
                 Err((s, ast, d)) => {
                     println!("iteration {i} (seed {s:#x}) DIVERGED: {d}");
@@ -153,10 +169,18 @@ fn fuzz(args: &Args) -> i32 {
             }
         }
     }
-    println!(
-        "{} iterations, 0 divergences ({} baseline insts, {} br insts, {} global stores)",
-        args.iters, base_insts, br_insts, stores
-    );
+    if budget_timeouts > 0 {
+        println!(
+            "{} iterations, 0 divergences, {} budget timeouts \
+             ({} baseline insts, {} br insts, {} global stores)",
+            args.iters, budget_timeouts, base_insts, br_insts, stores
+        );
+    } else {
+        println!(
+            "{} iterations, 0 divergences ({} baseline insts, {} br insts, {} global stores)",
+            args.iters, base_insts, br_insts, stores
+        );
+    }
     0
 }
 

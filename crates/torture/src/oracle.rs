@@ -74,21 +74,42 @@ pub enum Divergence {
         base: Option<(u32, i32)>,
         br: Option<(u32, i32)>,
     },
+    /// The per-case wall-clock budget expired (see
+    /// [`check_module_budgeted`]). A recorded timeout, not a
+    /// correctness verdict: the program may be pathological for the
+    /// compiler or emulators without being miscompiled.
+    Budget {
+        /// Pipeline stage that was about to start when the check fired.
+        stage: &'static str,
+        /// Milliseconds elapsed since the case started.
+        elapsed_ms: u64,
+        /// The configured budget.
+        limit_ms: u64,
+    },
 }
 
 impl std::fmt::Display for Divergence {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Divergences are reported to users (and now cross process
+        // boundaries in logs), so every arm renders through `Display`
+        // impls — no `{:?}` debug leaks.
+        fn store(s: &Option<(u32, i32)>) -> String {
+            match s {
+                Some((addr, v)) => format!("[{addr:#x}] = {v}"),
+                None => "stream ended".to_string(),
+            }
+        }
         match self {
             Divergence::Frontend(e) => write!(f, "frontend: {e}"),
             Divergence::Codegen { machine, err } => {
-                write!(f, "codegen ({machine:?}): {err}")
+                write!(f, "codegen ({machine}): {err}")
             }
             Divergence::Verify { machine, err } => {
-                write!(f, "verify ({machine:?}): {err}")
+                write!(f, "verify ({machine}): {err}")
             }
-            Divergence::Asm { machine, err } => write!(f, "assembler ({machine:?}): {err}"),
+            Divergence::Asm { machine, err } => write!(f, "assembler ({machine}): {err}"),
             Divergence::Interp(e) => write!(f, "interpreter: {e}"),
-            Divergence::Emu { machine, err } => write!(f, "emulator ({machine:?}): {err}"),
+            Divergence::Emu { machine, err } => write!(f, "emulator ({machine}): {err}"),
             Divergence::ExitMismatch { interp, base, br } => write!(
                 f,
                 "exit mismatch: interp={interp} baseline={base} branch-reg={br}"
@@ -105,7 +126,17 @@ impl std::fmt::Display for Divergence {
             ),
             Divergence::StoreMismatch { pos, base, br } => write!(
                 f,
-                "store stream diverges at #{pos}: baseline={base:?} branch-reg={br:?}"
+                "store stream diverges at #{pos}: baseline {} vs branch-reg {}",
+                store(base),
+                store(br)
+            ),
+            Divergence::Budget {
+                stage,
+                elapsed_ms,
+                limit_ms,
+            } => write!(
+                f,
+                "case budget exceeded: {elapsed_ms} ms elapsed (limit {limit_ms} ms) entering {stage}"
             ),
         }
     }
@@ -163,6 +194,49 @@ pub fn compile_for_with(
         machine,
         err: e.to_string(),
     })
+}
+
+/// [`compile_for_with`], threading an optional wall-clock deadline
+/// through the pipeline's stage gates. `None` takes the exact
+/// unbudgeted path (no behaviour change for existing callers).
+fn compile_budgeted(
+    module: &Module,
+    machine: Machine,
+    verify: bool,
+    budget: Option<(std::time::Instant, u64)>,
+) -> Result<Program, Divergence> {
+    let Some((deadline, limit_ms)) = budget else {
+        return compile_for_with(module, machine, verify);
+    };
+    let exp = br_core::Experiment {
+        verify,
+        ..br_core::Experiment::new()
+    };
+    exp.compile_module_budgeted(module, machine, Some(deadline))
+        .map(|(prog, _stats)| prog)
+        .map_err(|e| match e {
+            br_core::Error::Compile(br_core::CompileError::Deadline { elapsed_ms }) => {
+                Divergence::Budget {
+                    stage: "compile stage gate",
+                    elapsed_ms,
+                    limit_ms,
+                }
+            }
+            br_core::Error::Compile(br_core::CompileError::Codegen(c)) => Divergence::Codegen {
+                machine,
+                err: c.to_string(),
+            },
+            br_core::Error::Compile(br_core::CompileError::Verify(v)) => {
+                Divergence::Verify { machine, err: v }
+            }
+            br_core::Error::Compile(br_core::CompileError::Asm(a)) => {
+                Divergence::Asm { machine, err: a }
+            }
+            other => Divergence::Codegen {
+                machine,
+                err: other.to_string(),
+            },
+        })
 }
 
 /// Extent of the named-globals region `[DATA_BASE, DATA_BASE + n)` in a
@@ -233,9 +307,19 @@ pub fn check_src(src: &str, fuel: u64) -> Result<Agreement, Divergence> {
 
 /// [`check_src`], optionally with `br-verify` stage gates enabled.
 pub fn check_src_with(src: &str, fuel: u64, verify: bool) -> Result<Agreement, Divergence> {
+    check_src_budgeted(src, fuel, verify, None)
+}
+
+/// [`check_src_with`] under an optional per-case wall-clock budget.
+pub fn check_src_budgeted(
+    src: &str,
+    fuel: u64,
+    verify: bool,
+    budget_ms: Option<u64>,
+) -> Result<Agreement, Divergence> {
     let module =
         br_frontend::compile(src).map_err(|e| Divergence::Frontend(e.to_string()))?;
-    check_module_with(&module, fuel, verify)
+    check_module_budgeted(&module, fuel, verify, budget_ms)
 }
 
 /// Run the full differential check on an already-lowered module.
@@ -249,17 +333,54 @@ pub fn check_module_with(
     fuel: u64,
     verify: bool,
 ) -> Result<Agreement, Divergence> {
+    check_module_budgeted(module, fuel, verify, None)
+}
+
+/// [`check_module_with`] under an optional per-case wall-clock budget.
+///
+/// With `budget_ms` set, the case cannot wedge the harness: the budget
+/// is checked cooperatively between pipeline stages, the compiles run
+/// through [`br_core::Experiment::compile_module_budgeted`] (which
+/// checks it at every stage gate), and the emulations are already
+/// bounded by `fuel`. An expired budget is reported as the typed
+/// [`Divergence::Budget`] — recorded by the fuzz driver, never hung on.
+pub fn check_module_budgeted(
+    module: &Module,
+    fuel: u64,
+    verify: bool,
+    budget_ms: Option<u64>,
+) -> Result<Agreement, Divergence> {
+    let start = std::time::Instant::now();
+    let over = |stage: &'static str| -> Result<(), Divergence> {
+        if let Some(limit_ms) = budget_ms {
+            let elapsed_ms = start.elapsed().as_millis() as u64;
+            if elapsed_ms > limit_ms {
+                return Err(Divergence::Budget {
+                    stage,
+                    elapsed_ms,
+                    limit_ms,
+                });
+            }
+        }
+        Ok(())
+    };
+    let budget = budget_ms.map(|ms| (start + std::time::Duration::from_millis(ms), ms));
+
     // 1. Reference execution: the IR interpreter.
     let mut interp = Interpreter::new(module).with_fuel(fuel);
     let interp_exit = interp
         .run("main", &[])
-        .map_err(|e: InterpError| Divergence::Interp(format!("{e:?}")))?;
+        .map_err(|e: InterpError| Divergence::Interp(e.to_string()))?;
     let interp_steps = interp.steps();
 
     // 2. Both machines.
-    let base_prog = compile_for_with(module, Machine::Baseline, verify)?;
-    let br_prog = compile_for_with(module, Machine::BranchReg, verify)?;
+    over("baseline compile")?;
+    let base_prog = compile_budgeted(module, Machine::Baseline, verify, budget)?;
+    over("branch-register compile")?;
+    let br_prog = compile_budgeted(module, Machine::BranchReg, verify, budget)?;
+    over("baseline emulation")?;
     let base = run_machine(module, &base_prog, fuel)?;
+    over("branch-register emulation")?;
     let br = run_machine(module, &br_prog, fuel)?;
 
     // 3. Exit values.
@@ -375,8 +496,79 @@ mod tests {
     fn infinite_loop_is_caught_by_fuel() {
         let src = "int main() { while (1) { } return 0; }";
         match check_src(src, 10_000) {
-            Err(Divergence::Interp(e)) => assert!(e.contains("OutOfFuel"), "{e}"),
+            // The message is the InterpError Display rendering — user-
+            // readable, no Debug leak.
+            Err(Divergence::Interp(e)) => {
+                assert!(e.contains("interpreter ran out of fuel"), "{e}")
+            }
             other => panic!("expected interpreter fuel exhaustion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exhausted_budget_is_a_recorded_timeout_not_a_hang() {
+        // A budget of zero must expire at the first cooperative check
+        // after the interpreter pass, with a typed Budget divergence.
+        let src = "int main() { return 3; }";
+        match check_src_budgeted(src, DEFAULT_FUEL, false, Some(0)) {
+            Err(Divergence::Budget { limit_ms: 0, .. }) => {}
+            other => panic!("expected Budget divergence, got {other:?}"),
+        }
+        // A generous budget changes nothing.
+        let a = check_src_budgeted(src, DEFAULT_FUEL, false, Some(60_000))
+            .expect("well within budget");
+        assert_eq!(a.exit, 3);
+    }
+
+    #[test]
+    fn divergence_displays_are_self_contained() {
+        // Every variant must render human-readable text with no `{:?}`
+        // debug formatting of payload types (reports cross process
+        // boundaries via logs and CI output).
+        let cases: Vec<(Divergence, &str)> = vec![
+            (Divergence::Frontend("line 3: bad token".into()), "frontend: line 3"),
+            (
+                Divergence::Codegen {
+                    machine: Machine::Baseline,
+                    err: "spill failed".into(),
+                },
+                "codegen (baseline)",
+            ),
+            (
+                Divergence::Emu {
+                    machine: Machine::BranchReg,
+                    err: EmuError::OutOfFuel,
+                },
+                "emulator (branch register)",
+            ),
+            (
+                Divergence::Interp("interpreter ran out of fuel".into()),
+                "interpreter: interpreter ran out of fuel",
+            ),
+            (
+                Divergence::StoreMismatch {
+                    pos: 2,
+                    base: Some((0x400010, 7)),
+                    br: None,
+                },
+                "baseline [0x400010] = 7 vs branch-reg stream ended",
+            ),
+            (
+                Divergence::Budget {
+                    stage: "baseline compile",
+                    elapsed_ms: 120,
+                    limit_ms: 100,
+                },
+                "120 ms elapsed (limit 100 ms) entering baseline compile",
+            ),
+        ];
+        for (d, want) in cases {
+            let s = d.to_string();
+            assert!(s.contains(want), "display `{s}` missing `{want}`");
+            assert!(
+                !s.contains("Some(") && !s.contains("None") && !s.contains("OutOfFuel"),
+                "debug leak in `{s}`"
+            );
         }
     }
 

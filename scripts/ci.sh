@@ -27,8 +27,8 @@ echo "==> observability & timing-model cross-checks (named, for log visibility)"
 cargo test -q --test profile_equivalence --test trace_hook_cap \
     --test icache_properties --test pipeline_crosscheck
 
-echo "==> torture smoke run (seed 42, 200 iterations, verify gates on, 4 jobs)"
-cargo run --release -p br-torture -- --seed 42 --iters 200 --verify --jobs 4
+echo "==> torture smoke run (seed 42, 200 iterations, verify gates on, 4 jobs, 60s/case budget)"
+cargo run --release -p br-torture -- --seed 42 --iters 200 --verify --jobs 4 --budget-ms 60000
 
 echo "==> fault-injection demo (typed errors, no panics)"
 cargo run --release -p br-torture -- --demo-fault
@@ -42,6 +42,31 @@ cargo run --release -p br-bench --bin perf -- compile --paper --reps 3 \
 
 echo "==> ISA-coverage gate (every legal encoding of both machines executes)"
 cargo run --release -p br-obs --bin br-prof -- --jobs 4 --check-coverage
+
+echo "==> br-serve chaos smoke (real daemon, ephemeral port, panic isolation, graceful drain)"
+cargo build --release -p br-serve
+port_file="target/br_serve_ci_port"
+rm -f "$port_file"
+./target/release/br-serve --addr 127.0.0.1:0 --chaos --port-file "$port_file" &
+serve_pid=$!
+i=0
+while [ ! -f "$port_file" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "br-serve never wrote its port file"
+        kill "$serve_pid" 2>/dev/null || true
+        exit 1
+    fi
+    sleep 0.1
+done
+serve_addr="$(cat "$port_file")"
+./target/release/br-load --addr "$serve_addr" --smoke --chaos
+./target/release/br-load --addr "$serve_addr" --shutdown
+wait "$serve_pid"
+
+echo "==> br-serve bench + regression gate (fail below 0.3x recorded throughput)"
+cargo run --release -p br-serve --bin br-load -- --bench --requests 200 --threads 4 \
+    --out target/BENCH_serve_ci.json --record current --check 0.3
 
 echo "==> results goldens (txt + profile JSON) regenerate byte-identical"
 regen_dir="target/results_regen"

@@ -3,6 +3,10 @@
 #
 #   scripts/regen_results.sh            rewrite results/*.txt in place
 #   scripts/regen_results.sh OUTDIR     write into OUTDIR instead
+#   scripts/regen_results.sh --serve    re-record the BENCH_serve.json
+#                                       current section (machine-dependent
+#                                       timings, so never part of the
+#                                       byte-identical golden check)
 #
 # The compile→emulate pipeline is deterministic, so rerunning this
 # script on an unchanged tree must reproduce every file byte-identical
@@ -10,6 +14,14 @@
 set -eu
 
 cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "--serve" ]; then
+    echo "==> br-load --bench (re-recording BENCH_serve.json current section)"
+    cargo run --release -p br-serve --bin br-load -- \
+        --bench --requests 200 --threads 4 --record current
+    exit 0
+fi
+
 outdir="${1:-results}"
 mkdir -p "$outdir"
 
