@@ -4,6 +4,7 @@
 use br_ir::RegClass;
 use br_isa::{
     AluOp, AsmItem, FReg, Label, MInst, Machine, MemWidth, Reg, Reloc, Src2, SymRef,
+    FRESH_LABEL_BASE,
 };
 
 use crate::error::CodegenError;
@@ -134,7 +135,7 @@ impl<'a> Emit<'a> {
 
     /// Fresh function-local label.
     pub fn fresh_label(&mut self) -> Label {
-        let l = Label(1_000_000 + self.next_label);
+        let l = Label(FRESH_LABEL_BASE + self.next_label);
         self.next_label += 1;
         l
     }

@@ -48,6 +48,23 @@ pub use target::{BaseOptions, BrOptions, TargetSpec};
 use br_ir::{Cfg, Dominators, LoopForest, Module};
 use br_isa::{AsmFunc, AsmProgram, Machine};
 
+/// Frame geometry of one selected function, exported by
+/// [`ModuleBatch::frame_geom`] for consumers (translation validation)
+/// that need to reason about stack-slot addresses without replicating
+/// the emitters' layout math.
+#[derive(Debug, Clone)]
+pub struct FuncGeom {
+    /// Function name.
+    pub name: String,
+    /// Frame offset (from the adjusted sp) of each IR slot.
+    pub slot_off: Vec<i32>,
+    /// Size in bytes of each IR slot.
+    pub slot_size: Vec<u32>,
+    /// Outgoing-argument overflow words; the out-arg area is
+    /// `[0, 4 * max_out_args)` in frame offsets.
+    pub max_out_args: u32,
+}
+
 /// Output of compiling a module for one machine.
 #[derive(Debug, Clone)]
 pub struct CompiledModule {
@@ -251,6 +268,28 @@ impl ModuleBatch<'_> {
     /// function.
     pub fn isel_ns(&self) -> u64 {
         self.isel_ns
+    }
+
+    /// Per-function frame geometry of the selected code: where each IR
+    /// stack slot lands relative to the adjusted stack pointer, and how
+    /// wide the outgoing-argument overflow area is. Slot offsets depend
+    /// only on selection results (`max_out_args` and the IR slot list),
+    /// not on register allocation, so they are fixed before the back
+    /// half runs. Translation validation uses this to give the two
+    /// machines' differing frame layouts a common slot-level naming.
+    pub fn frame_geom(&self) -> Vec<FuncGeom> {
+        self.funcs
+            .iter()
+            .map(|(_, vf)| {
+                let layout = emit::FrameLayout::new(vf, 0);
+                FuncGeom {
+                    name: vf.name.clone(),
+                    slot_off: layout.slot_off,
+                    slot_size: vf.slots.iter().map(|&(size, _)| size as u32).collect(),
+                    max_out_args: vf.max_out_args,
+                }
+            })
+            .collect()
     }
 
     /// Register-allocate and emit function `i` of the batch, running the

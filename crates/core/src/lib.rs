@@ -588,6 +588,118 @@ impl Experiment {
         }
         Ok(SuiteReport { rows })
     }
+
+    /// Statically prove a program's two emissions equivalent
+    /// (translation validation; see `TV.md`).
+    ///
+    /// # Errors
+    ///
+    /// Front-end or code-generation errors. Proof failures are *not*
+    /// errors — they come back as per-function findings in the report.
+    pub fn tv_validate(&self, src: &str) -> Result<br_verify::tv::TvModuleReport, Error> {
+        let module = br_frontend::compile(src)?;
+        self.tv_validate_module(&module)
+    }
+
+    /// [`tv_validate`](Self::tv_validate) for an already-lowered module.
+    ///
+    /// # Errors
+    ///
+    /// Code-generation errors.
+    pub fn tv_validate_module(
+        &self,
+        module: &br_ir::Module,
+    ) -> Result<br_verify::tv::TvModuleReport, Error> {
+        Ok(br_verify::tv::validate_module(
+            module,
+            self.base_opts,
+            self.br_opts,
+        )?)
+    }
+
+    /// Cross-check the static branch-cost model against a real emulated
+    /// run: compile `module` for `machine`, run it once collecting
+    /// per-word retire counts, and evaluate both the static model and
+    /// the dynamic `br-pipeline` estimate at pipeline depth `stages`.
+    ///
+    /// # Errors
+    ///
+    /// Compilation or emulation errors.
+    pub fn cost_check_module(
+        &self,
+        module: &br_ir::Module,
+        machine: Machine,
+        stages: u32,
+    ) -> Result<CostCheck, Error> {
+        let (prog, _) = self.compile_module_for(module, machine)?;
+        let mut hook = RetireCounts::new(&prog);
+        let mut emu = br_emu::Emulator::new(&prog);
+        emu.run_with_hook(self.fuel, &mut hook)?;
+        let meas = emu.measurements();
+        let static_est = br_verify::tv::static_cycles(&prog, &hook.counts, stages);
+        let dynamic = match machine {
+            Machine::Baseline => pipeline::cycles(pipeline::BranchScheme::Delayed, meas, stages),
+            Machine::BranchReg => pipeline::br_machine_cycles(meas, stages),
+        };
+        Ok(CostCheck {
+            machine,
+            stages,
+            static_est: static_est.total,
+            dynamic,
+        })
+    }
+}
+
+/// Minimal retire-count hook for the static-cost cross-check (the full
+/// [`br-obs` profiler] is not a `br-core` dependency).
+struct RetireCounts {
+    counts: Vec<u64>,
+}
+
+impl RetireCounts {
+    fn new(prog: &Program) -> RetireCounts {
+        RetireCounts {
+            counts: vec![0; prog.text.len()],
+        }
+    }
+}
+
+impl br_emu::ExecHook for RetireCounts {
+    fn retire(&mut self, pc: u32, _store: Option<(u32, i32)>) {
+        let w = ((pc - br_isa::abi::TEXT_BASE) >> 2) as usize;
+        if let Some(c) = self.counts.get_mut(w) {
+            *c += 1;
+        }
+    }
+}
+
+/// One static-vs-dynamic cycle cross-check.
+///
+/// On the baseline machine the static model is exact (`static_est ==
+/// dynamic`); on the branch-register machine it is a sound upper bound
+/// (`static_est.total >= dynamic.total`), within the error band the
+/// `br-tv` gate pins.
+#[derive(Debug, Clone, Copy)]
+pub struct CostCheck {
+    /// Machine checked.
+    pub machine: Machine,
+    /// Pipeline depth.
+    pub stages: u32,
+    /// Static estimate from the machine code and retire counts.
+    pub static_est: pipeline::CycleEstimate,
+    /// Dynamic estimate from the emulator's measurements.
+    pub dynamic: pipeline::CycleEstimate,
+}
+
+impl CostCheck {
+    /// Relative slack of the static bound over the dynamic estimate
+    /// (0.0 = exact).
+    pub fn slack(&self) -> f64 {
+        if self.dynamic.total == 0 {
+            return 0.0;
+        }
+        self.static_est.total as f64 / self.dynamic.total as f64 - 1.0
+    }
 }
 
 /// Results over the whole suite — the raw material of Table I and the

@@ -66,6 +66,23 @@ impl CacheConfig {
     pub fn capacity(&self) -> usize {
         self.sets * self.assoc * self.line_words * 4
     }
+
+    /// The line-granular address (`addr / line bytes`) a byte address
+    /// falls into. Line addresses identify cache lines uniquely.
+    pub fn line_addr(&self, addr: u32) -> u32 {
+        addr / (self.line_words as u32 * 4)
+    }
+
+    /// The set a byte address maps to and the tag stored for it. This
+    /// is the one placement function shared by the simulator and the
+    /// static conflict classifier in `br-verify`, so the two can never
+    /// disagree about which lines compete.
+    pub fn set_and_tag(&self, addr: u32) -> (usize, u32) {
+        let line_addr = self.line_addr(addr);
+        let set = (line_addr as usize) % self.sets;
+        let tag = line_addr / self.sets as u32;
+        (set, tag)
+    }
 }
 
 /// Dynamic cache statistics.
@@ -162,11 +179,7 @@ impl ICacheSim {
     }
 
     fn set_and_tag(&self, addr: u32) -> (usize, u32) {
-        let line_bytes = (self.cfg.line_words * 4) as u32;
-        let line_addr = addr / line_bytes;
-        let set = (line_addr as usize) % self.cfg.sets;
-        let tag = line_addr / self.cfg.sets as u32;
-        (set, tag)
+        self.cfg.set_and_tag(addr)
     }
 
     fn lookup(&mut self, set: usize, tag: u32) -> Option<usize> {

@@ -12,6 +12,14 @@ use crate::{abi, Machine};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Label(pub u32);
 
+/// First label number used for emission-internal labels (jump tables,
+/// out-of-line sequences). Labels below this base are IR block labels,
+/// which both machine emitters bind in the same order for the same
+/// module; labels at or above it are private to one emitter's stream.
+/// Static analyses (the protocol lint, translation validation) rely on
+/// this split to align the two machines' code block-for-block.
+pub const FRESH_LABEL_BASE: u32 = 1_000_000;
+
 impl fmt::Display for Label {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "L{}", self.0)

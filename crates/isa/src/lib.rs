@@ -38,7 +38,7 @@ pub mod encode;
 pub mod minst;
 pub mod program;
 
-pub use asm::{AsmFunc, AsmItem, AsmProgram, DataItem, Label, Reloc, SymRef};
+pub use asm::{AsmFunc, AsmItem, AsmProgram, DataItem, Label, Reloc, SymRef, FRESH_LABEL_BASE};
 pub use encode::{decode, encode, EncodeError};
 pub use minst::{AluOp, BReg, Cc, FReg, FpuOp, MInst, MemWidth, Reg, Src2};
 pub use program::{BlockMark, Program, TextWord};

@@ -371,6 +371,13 @@ impl ProfileHook {
         }
     }
 
+    /// Per-text-word retire counts, indexed like `Program::text`. This
+    /// is the weighting the static branch-cost model in `br-verify`
+    /// rolls its per-block cycle bounds up with.
+    pub fn retired_counts(&self) -> &[u64] {
+        &self.retired
+    }
+
     fn note_use(&mut self, b: u8) {
         if b == 0 {
             return;

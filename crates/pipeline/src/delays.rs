@@ -52,6 +52,28 @@ pub fn cond_delay(scheme: BranchScheme, stages: u32) -> u32 {
     }
 }
 
+/// Prefetch bubble of a *single* branch-register transfer whose target
+/// address was computed `d` dynamic instructions before use (Figure 9).
+/// A distance of 0 encodes "further back than any bucket" and never
+/// stalls. Conditional transfers already pay the structural delay, so
+/// only the part of the bubble beyond it surfaces as extra stall.
+///
+/// Both [`br_machine_cycles`] (dynamic distance histogram) and the
+/// static branch-cost model in `br-verify` sum this same per-transfer
+/// formula, so the two accountings cannot drift apart.
+pub fn prefetch_stall(stages: u32, d: u64, cond: bool) -> u64 {
+    let required = stages.saturating_sub(1) as u64;
+    if d == 0 || d >= required {
+        return 0;
+    }
+    let shortfall = required - d;
+    if cond {
+        shortfall.saturating_sub(cond_delay(BranchScheme::BranchRegisters, stages) as u64)
+    } else {
+        shortfall
+    }
+}
+
 /// A cycle estimate decomposed into its parts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CycleEstimate {
@@ -90,25 +112,17 @@ pub fn cycles(scheme: BranchScheme, m: &Measurements, stages: u32) -> CycleEstim
 /// `d ≥ stages - 1` to hide the prefetch entirely; otherwise the bubble
 /// is `(stages - 1) - d`, floored by the structural delay.
 pub fn br_machine_cycles(m: &Measurements, stages: u32) -> CycleEstimate {
-    let required = stages.saturating_sub(1) as u64;
     let structural_cond = cond_delay(BranchScheme::BranchRegisters, stages) as u64;
-    let mut transfer_stalls = m.cond_transfers * structural_cond;
+    let transfer_stalls = m.cond_transfers * structural_cond;
     let mut prefetch_stalls = 0u64;
-    for d in 1..=MAX_DIST_BUCKET as u64 {
-        if d >= required {
-            break;
-        }
-        let shortfall = required - d;
-        let cond = m.cond_transfer_dist[d as usize];
-        let uncond = m.transfer_dist[d as usize] - cond;
-        // Conditional transfers already pay the structural delay; only
-        // the part of the bubble beyond it is extra.
-        prefetch_stalls += cond * shortfall.saturating_sub(structural_cond);
-        prefetch_stalls += uncond * shortfall;
-    }
     // Bucket 0 (distance > MAX_DIST_BUCKET or always-ready) never stalls
     // for any pipeline up to MAX_DIST_BUCKET + 1 stages.
-    transfer_stalls += 0;
+    for d in 1..=MAX_DIST_BUCKET as u64 {
+        let cond = m.cond_transfer_dist[d as usize];
+        let uncond = m.transfer_dist[d as usize] - cond;
+        prefetch_stalls += cond * prefetch_stall(stages, d, true);
+        prefetch_stalls += uncond * prefetch_stall(stages, d, false);
+    }
     CycleEstimate {
         instructions: m.instructions,
         transfer_stalls,

@@ -19,7 +19,10 @@
 pub mod delays;
 pub mod trace;
 
-pub use delays::{br_machine_cycles, cond_delay, cycles, uncond_delay, BranchScheme, CycleEstimate};
+pub use delays::{
+    br_machine_cycles, cond_delay, cycles, prefetch_stall, uncond_delay, BranchScheme,
+    CycleEstimate,
+};
 pub use trace::{cond_trace, uncond_trace, PipelineTrace};
 
 use br_emu::Measurements;

@@ -18,7 +18,11 @@
 //! - **Self-healing disk store.** Disk entries carry the artifact
 //!   checksum; a corrupt or truncated file is renamed to
 //!   `<name>.quarantined` (kept for post-mortems, never re-read) and
-//!   the module is transparently recompiled and rewritten.
+//!   the module is transparently recompiled and rewritten. Entries
+//!   that pass the checksum are additionally vetted by the
+//!   whole-program protocol lint ([`br_verify::lint_program`]) before
+//!   they are served, closing the gap where a decodable payload
+//!   carries discipline-violating code.
 //! - **Torn-write-free publication.** Disk writes go to a `.tmp` file
 //!   first and are published with an atomic rename.
 
@@ -53,6 +57,10 @@ pub struct CacheCounters {
     pub disk_hits: AtomicU64,
     pub misses: AtomicU64,
     pub quarantined: AtomicU64,
+    /// Subset of `quarantined`: entries that decoded cleanly but failed
+    /// the branch-register protocol lint — bit-rot or toolchain skew
+    /// that the checksum alone did not catch.
+    pub lint_rejects: AtomicU64,
     /// Number of times the compile closure actually ran — the
     /// exactly-once tests assert on this.
     pub compiles: AtomicU64,
@@ -186,18 +194,40 @@ impl Cache {
     }
 
     /// Read and verify a disk entry; quarantine anything that fails.
+    ///
+    /// Verification is two layers: the artifact checksum (catches torn
+    /// or truncated files) and, for entries that decode cleanly, the
+    /// whole-program protocol lint (catches payloads whose bytes are
+    /// internally consistent but whose *code* violates the machine's
+    /// discipline — a stale artifact from an older emitter, or
+    /// corruption that landed inside instruction fields). Daemon
+    /// artifacts are always compiled under default codegen options
+    /// (the option fingerprint is part of the key), so the lint runs
+    /// with the default branch-register pools.
     fn try_load_disk(&self, key: u64) -> Option<(Program, CodegenStats)> {
         let path = self.path_for(key)?;
         let bytes = std::fs::read(&path).ok()?;
+        let quarantine = |counter: Option<&AtomicU64>| {
+            // Move it aside (best effort — a lost race with another
+            // quarantine just deletes the evidence) and recompile.
+            let aside = path.with_extension("bra.quarantined");
+            let _ = std::fs::rename(&path, &aside);
+            self.counters.bump(&self.counters.quarantined);
+            if let Some(c) = counter {
+                self.counters.bump(c);
+            }
+        };
         match artifact::deserialize(&bytes) {
-            Ok(loaded) => Some(loaded),
+            Ok((prog, stats)) => {
+                if br_verify::lint_program(&prog, &br_codegen::BrOptions::default()).is_empty() {
+                    Some((prog, stats))
+                } else {
+                    quarantine(Some(&self.counters.lint_rejects));
+                    None
+                }
+            }
             Err(_) => {
-                // Corrupt: move it aside (best effort — a lost race
-                // with another quarantine just deletes the evidence)
-                // and recompile.
-                let quarantine = path.with_extension("bra.quarantined");
-                let _ = std::fs::rename(&path, &quarantine);
-                self.counters.bump(&self.counters.quarantined);
+                quarantine(None);
                 None
             }
         }

@@ -103,6 +103,55 @@ fn truncated_disk_entry_is_also_healed() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// A disk entry whose bytes checksum and decode cleanly but whose code
+/// violates the branch-register discipline (bit-rot inside instruction
+/// fields, or an artifact from a skewed toolchain) is caught by the
+/// protocol lint, quarantined, and transparently recompiled.
+#[test]
+fn lint_rejecting_entry_is_quarantined_and_recompiled() {
+    use br_isa::{MInst, TextWord};
+
+    let dir = tmpdir("lint-reject");
+    let key = 0xdead_10cc_u64;
+    {
+        let cache = Cache::new(Some(dir.clone()));
+        cache.get_or_compile(key, compile_src).unwrap();
+    }
+    let path = dir.join(format!("{key:016x}.bra"));
+
+    // Rewrite the entry with a *checksum-valid* payload whose code is
+    // broken: main's first instruction becomes a transfer through
+    // b[6], which is caller-saved and so undefined at entry.
+    let bytes = std::fs::read(&path).unwrap();
+    let (mut prog, stats) = br_serve::artifact::deserialize(&bytes).unwrap();
+    let entry = prog
+        .blocks
+        .iter()
+        .find(|m| m.func == "main" && m.label.is_none())
+        .unwrap()
+        .word as usize;
+    let broken = MInst::Nop { br: 6 };
+    prog.text[entry] = TextWord::Inst(broken);
+    prog.code[entry] = br_isa::encode(Machine::BranchReg, broken).unwrap();
+    std::fs::write(&path, br_serve::artifact::serialize(&prog, &stats)).unwrap();
+
+    let cache = Cache::new(Some(dir.clone()));
+    let (_, origin) = cache.get_or_compile(key, compile_src).unwrap();
+    assert_eq!(origin, Origin::Compiled, "lint reject forced a recompile");
+    assert_eq!(cache.counters.quarantined.load(Ordering::Relaxed), 1);
+    assert_eq!(cache.counters.lint_rejects.load(Ordering::Relaxed), 1);
+    let quarantined = dir.join(format!("{key:016x}.bra.quarantined"));
+    assert!(quarantined.exists(), "rejected file kept for post-mortems");
+
+    // The healed store serves a clean artifact from disk again.
+    let cache2 = Cache::new(Some(dir.clone()));
+    let (_, origin2) = cache2.get_or_compile(key, compile_src).unwrap();
+    assert_eq!(origin2, Origin::Disk, "store healed itself");
+    assert_eq!(cache2.counters.lint_rejects.load(Ordering::Relaxed), 0);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn concurrent_same_key_requests_compile_exactly_once() {
     let cache = Cache::new(None);

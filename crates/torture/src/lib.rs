@@ -24,8 +24,8 @@ pub mod oracle;
 pub use gen::{generate, render, GenConfig, TortureAst};
 pub use minimize::{count_stmts, minimize};
 pub use oracle::{
-    check_module, check_module_budgeted, check_module_with, check_src, check_src_budgeted,
-    check_src_with, Agreement, Divergence, DEFAULT_FUEL,
+    check_module, check_module_budgeted, check_module_tv, check_module_with, check_src,
+    check_src_budgeted, check_src_tv, check_src_with, Agreement, Divergence, DEFAULT_FUEL,
 };
 
 /// Derive the seed for iteration `i` of a run started with `seed`.
@@ -62,6 +62,20 @@ mod tests {
             let src = render(&generate(s, GenConfig::default()));
             if let Err(d) = check_src(&src, DEFAULT_FUEL) {
                 panic!("seed {s:#x} (iter {i}) diverged: {d}\n{src}");
+            }
+        }
+    }
+
+    /// The `--tv` oracle stack over a band of seeds: the static
+    /// translation validator must never refute a module the dynamic
+    /// executions agree on (and proofs must never contradict them).
+    #[test]
+    fn torture_tv_smoke_25_seeds_agree() {
+        for i in 0..25u64 {
+            let s = iter_seed(0x7111, i);
+            let src = render(&generate(s, GenConfig::default()));
+            if let Err(d) = check_src_tv(&src, DEFAULT_FUEL, false, None) {
+                panic!("seed {s:#x} (iter {i}) diverged under --tv: {d}\n{src}");
             }
         }
     }

@@ -4,6 +4,7 @@
 //! br-torture --seed N --iters M [--fuel F]     differential fuzz run
 //! br-torture ... --jobs J                      fan iterations across J threads
 //! br-torture ... --verify                      also gate every stage with br-verify
+//! br-torture ... --tv                          also cross-check the static translation validator
 //! br-torture --demo-fault                      fault-injection demo
 //! br-torture --demo-miscompile                 wrong-code-catch demo
 //! ```
@@ -15,8 +16,8 @@
 use br_emu::{EmuError, Emulator, Fault};
 use br_isa::Machine;
 use br_torture::{
-    check_src_budgeted, check_src_with, count_stmts, gen::GenConfig, generate, iter_seed,
-    minimize, oracle, render, Divergence, DEFAULT_FUEL,
+    check_src_budgeted, check_src_tv, count_stmts, gen::GenConfig, generate, iter_seed,
+    minimize, oracle, render, Agreement, Divergence, DEFAULT_FUEL,
 };
 
 struct Args {
@@ -25,6 +26,9 @@ struct Args {
     fuel: u64,
     jobs: usize,
     verify: bool,
+    /// Run the static translation validator as a third oracle against
+    /// the dynamic differential result on every iteration.
+    tv: bool,
     /// Per-case wall budget in milliseconds; 0 = unlimited.
     budget_ms: u64,
     demo_fault: bool,
@@ -38,6 +42,7 @@ fn parse_args() -> Result<Args, String> {
         fuel: DEFAULT_FUEL,
         jobs: 1,
         verify: false,
+        tv: false,
         budget_ms: 0,
         demo_fault: false,
         demo_miscompile: false,
@@ -59,13 +64,14 @@ fn parse_args() -> Result<Args, String> {
             "--fuel" => args.fuel = num("--fuel")?,
             "--jobs" => args.jobs = num("--jobs")? as usize,
             "--verify" => args.verify = true,
+            "--tv" => args.tv = true,
             "--budget-ms" => args.budget_ms = num("--budget-ms")?,
             "--demo-fault" => args.demo_fault = true,
             "--demo-miscompile" => args.demo_miscompile = true,
             "--help" | "-h" => {
                 return Err("usage: br-torture [--seed N] [--iters M] [--fuel F] \
-                            [--jobs J] [--verify] [--budget-ms MS] [--demo-fault] \
-                            [--demo-miscompile]"
+                            [--jobs J] [--verify] [--tv] [--budget-ms MS] \
+                            [--demo-fault] [--demo-miscompile]"
                     .into())
             }
             other => return Err(format!("unknown argument `{other}` (try --help)")),
@@ -94,6 +100,16 @@ fn main() {
 
 // ------------------------------------------------------------------ fuzz
 
+/// One case through the configured oracle stack: dynamic differential
+/// always, plus the static translation validator in `--tv` mode.
+fn check_case(args: &Args, src: &str, budget_ms: Option<u64>) -> Result<Agreement, Divergence> {
+    if args.tv {
+        check_src_tv(src, args.fuel, args.verify, budget_ms)
+    } else {
+        check_src_budgeted(src, args.fuel, args.verify, budget_ms)
+    }
+}
+
 fn fuzz(args: &Args) -> i32 {
     let cfg = GenConfig::default();
     let jobs = if args.jobs == 0 {
@@ -119,8 +135,7 @@ fn fuzz(args: &Args) -> i32 {
             let s = iter_seed(args.seed, i);
             let ast = generate(s, cfg);
             let src = render(&ast);
-            check_src_budgeted(&src, args.fuel, args.verify, budget_ms)
-                .map_err(|d| (s, ast, d))
+            check_case(args, &src, budget_ms).map_err(|d| (s, ast, d))
         });
         for (&i, result) in idxs.iter().zip(results) {
             match result {
@@ -151,10 +166,10 @@ fn fuzz(args: &Args) -> i32 {
                     println!("iteration {i} (seed {s:#x}) DIVERGED: {d}");
                     println!("minimizing ({} statements)...", count_stmts(&ast));
                     let min = minimize(&ast, |cand| {
-                        check_src_with(&render(cand), args.fuel, args.verify).is_err()
+                        check_case(args, &render(cand), None).is_err()
                     });
                     let min_src = render(&min);
-                    let final_d = check_src_with(&min_src, args.fuel, args.verify)
+                    let final_d = check_case(args, &min_src, None)
                         .expect_err("minimizer preserves failure");
                     println!(
                         "minimized to {} statements; divergence: {final_d}",

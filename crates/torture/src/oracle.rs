@@ -74,6 +74,21 @@ pub enum Divergence {
         base: Option<(u32, i32)>,
         br: Option<(u32, i32)>,
     },
+    /// The static translation validator and the dynamic differential
+    /// oracle contradict each other (`--tv` mode): either the TV engine
+    /// *refuted* a function pair while all three executions agree on
+    /// every observable, or it *proved* the whole module equivalent
+    /// while the machines dynamically diverge. An `Unproven` verdict is
+    /// never a divergence — the engine is deliberately incomplete and
+    /// abstains rather than guesses.
+    TvMismatch {
+        /// Function the refutation names; empty when the mismatch is a
+        /// proven module contradicted by a dynamic divergence.
+        func: String,
+        /// The refutation finding, or the dynamic divergence the static
+        /// proof contradicts.
+        detail: String,
+    },
     /// The per-case wall-clock budget expired (see
     /// [`check_module_budgeted`]). A recorded timeout, not a
     /// correctness verdict: the program may be pathological for the
@@ -130,6 +145,16 @@ impl std::fmt::Display for Divergence {
                 store(base),
                 store(br)
             ),
+            Divergence::TvMismatch { func, detail } => {
+                if func.is_empty() {
+                    write!(f, "tv proved the module but execution diverged: {detail}")
+                } else {
+                    write!(
+                        f,
+                        "tv refuted `{func}` but all executions agree: {detail}"
+                    )
+                }
+            }
             Divergence::Budget {
                 stage,
                 elapsed_ms,
@@ -433,6 +458,98 @@ pub fn check_module_budgeted(
         br_instructions: br.instructions,
         global_stores: base.global_stores.len(),
     })
+}
+
+/// [`check_module_budgeted`] plus a third, *static* oracle: whole-module
+/// translation validation ([`br_verify::tv`]). The static and dynamic
+/// oracles check each other:
+///
+/// * a **refuted** function while the dynamic executions fully agree is
+///   [`Divergence::TvMismatch`] — the validator's refutation logic and
+///   the machines cannot both be right;
+/// * a fully **proven** module while the machines diverge in behaviour
+///   (exit value, final globals, or the store stream) is the converse
+///   mismatch — execution disproving a static equivalence proof;
+/// * **unproven** functions contradict nothing: the engine abstains on
+///   code it cannot align rather than guessing either way.
+///
+/// Tooling failures (frontend, codegen, interpreter or emulator faults,
+/// expired budgets) say nothing a static proof could contradict, so the
+/// validator is skipped for those and the dynamic result passes through.
+pub fn check_module_tv(
+    module: &Module,
+    fuel: u64,
+    verify: bool,
+    budget_ms: Option<u64>,
+) -> Result<Agreement, Divergence> {
+    let dynamic = check_module_budgeted(module, fuel, verify, budget_ms);
+    let behavioural = matches!(
+        dynamic,
+        Ok(_)
+            | Err(Divergence::ExitMismatch { .. })
+            | Err(Divergence::GlobalMismatch { .. })
+            | Err(Divergence::StoreMismatch { .. })
+    );
+    if !behavioural {
+        return dynamic;
+    }
+    let report =
+        match br_verify::tv::validate_module(module, Default::default(), Default::default()) {
+            Ok(r) => r,
+            Err(e) => {
+                // The dynamic path compiled this module moments ago with
+                // the same options; an error here is real toolchain skew.
+                return Err(Divergence::Codegen {
+                    machine: Machine::BranchReg,
+                    err: format!("tv recompile: {e}"),
+                });
+            }
+        };
+    match &dynamic {
+        Ok(_) => {
+            if let Some(f) = report
+                .funcs
+                .iter()
+                .find(|f| f.status == br_verify::tv::TvStatus::Refuted)
+            {
+                let detail = f
+                    .findings
+                    .iter()
+                    .find(|x| x.refuted)
+                    .or_else(|| f.findings.first())
+                    .map(|x| x.detail.clone())
+                    .unwrap_or_default();
+                return Err(Divergence::TvMismatch {
+                    func: f.func.clone(),
+                    detail,
+                });
+            }
+            dynamic
+        }
+        Err(d) => {
+            if report.all_proven() {
+                return Err(Divergence::TvMismatch {
+                    func: String::new(),
+                    detail: d.to_string(),
+                });
+            }
+            // Refuted or unproven alongside a dynamic divergence: the
+            // oracles agree something is wrong; the dynamic report is
+            // the actionable one.
+            dynamic
+        }
+    }
+}
+
+/// [`check_module_tv`] from source text.
+pub fn check_src_tv(
+    src: &str,
+    fuel: u64,
+    verify: bool,
+    budget_ms: Option<u64>,
+) -> Result<Agreement, Divergence> {
+    let module = br_frontend::compile(src).map_err(|e| Divergence::Frontend(e.to_string()))?;
+    check_module_tv(&module, fuel, verify, budget_ms)
 }
 
 /// Sabotage an assembled branch-register program by negating the

@@ -1,0 +1,128 @@
+//! Property tests for the static branch-cost analyzer
+//! ([`br_verify::tv`]) over seeded torture modules: randomly generated
+//! programs with nested branches, switch tables, and call DAGs — code
+//! the hand-written suite cannot be trusted to cover.
+//!
+//! Three soundness properties, at every pipeline depth the paper
+//! sweeps (stages 2..=8):
+//!
+//! 1. **Baseline exactness.** The baseline's transfer mix is fully
+//!    static, so the static estimate must equal the delay table applied
+//!    to the emulator's measurements — not bound it, *equal* it.
+//! 2. **BR upper bound.** On the branch-register machine the static
+//!    model may overestimate (it charges every carried transfer its
+//!    taken-path address distance) but must never undercut the dynamic
+//!    prefetch-stall accounting.
+//! 3. **Icache bound.** The per-line miss bound must dominate the
+//!    cold-start LRU simulator's actual misses with prefetching off.
+
+use br_emu::{Emulator, ExecHook, Measurements};
+use br_icache::{CacheConfig, ICacheSim};
+use br_isa::{abi, Machine, Program};
+use br_pipeline::{br_machine_cycles, cycles, BranchScheme};
+use br_torture::{gen::GenConfig, generate, iter_seed, render};
+use br_verify::tv::{icache_miss_bound, static_cycles};
+
+const SEEDS: u64 = 12;
+const FUEL: u64 = 20_000_000;
+
+/// Per-text-word retirement counts plus the emulator's measurements.
+struct Counts {
+    counts: Vec<u64>,
+}
+
+impl ExecHook for Counts {
+    fn retire(&mut self, pc: u32, _store: Option<(u32, i32)>) {
+        let w = ((pc - abi::TEXT_BASE) >> 2) as usize;
+        if let Some(c) = self.counts.get_mut(w) {
+            *c += 1;
+        }
+    }
+}
+
+fn compile(src: &str, machine: Machine) -> Program {
+    let module = br_frontend::compile(src).expect("frontend");
+    br_codegen::compile_module(&module, machine, Default::default(), Default::default())
+        .expect("codegen")
+        .asm
+        .assemble()
+        .expect("assemble")
+}
+
+fn run_counted(prog: &Program) -> (Vec<u64>, Measurements) {
+    let mut emu = Emulator::new(prog);
+    let mut hook = Counts {
+        counts: vec![0; prog.text.len()],
+    };
+    emu.run_with_hook(FUEL, &mut hook).expect("clean run");
+    (hook.counts, emu.measurements().clone())
+}
+
+fn seeded_sources() -> Vec<(u64, String)> {
+    (0..SEEDS)
+        .map(|i| {
+            let s = iter_seed(0xC057, i);
+            (s, render(&generate(s, GenConfig::default())))
+        })
+        .collect()
+}
+
+#[test]
+fn baseline_static_cost_is_exact_at_every_depth() {
+    for (seed, src) in seeded_sources() {
+        let prog = compile(&src, Machine::Baseline);
+        let (counts, meas) = run_counted(&prog);
+        for stages in 2..=8u32 {
+            let est = static_cycles(&prog, &counts, stages).total;
+            let dynamic = cycles(BranchScheme::Delayed, &meas, stages);
+            assert_eq!(
+                est.total, dynamic.total,
+                "seed {seed:#x} stages {stages}: baseline static {} != dynamic {}",
+                est.total, dynamic.total
+            );
+        }
+    }
+}
+
+#[test]
+fn br_static_cost_bounds_dynamic_at_every_depth() {
+    for (seed, src) in seeded_sources() {
+        let prog = compile(&src, Machine::BranchReg);
+        let (counts, meas) = run_counted(&prog);
+        for stages in 2..=8u32 {
+            let est = static_cycles(&prog, &counts, stages).total;
+            let dynamic = br_machine_cycles(&meas, stages);
+            assert!(
+                est.total >= dynamic.total,
+                "seed {seed:#x} stages {stages}: static {} below dynamic {}",
+                est.total,
+                dynamic.total
+            );
+        }
+    }
+}
+
+#[test]
+fn icache_miss_bound_dominates_simulation() {
+    // Prefetch off: the bound models demand misses only; the BR
+    // machine's prefetch queue can only remove misses it cannot add.
+    let cfg = CacheConfig {
+        prefetch: false,
+        ..CacheConfig::default()
+    };
+    for (seed, src) in seeded_sources() {
+        for machine in [Machine::Baseline, Machine::BranchReg] {
+            let prog = compile(&src, machine);
+            let (counts, _) = run_counted(&prog);
+            let mut emu = Emulator::new(&prog);
+            let mut sim = ICacheSim::new(cfg);
+            emu.run_with_hook(FUEL, &mut sim).expect("clean run");
+            let bound = icache_miss_bound(&prog, &counts, &cfg);
+            let actual = sim.stats().misses;
+            assert!(
+                bound >= actual,
+                "seed {seed:#x} {machine:?}: bound {bound} below simulated misses {actual}"
+            );
+        }
+    }
+}

@@ -29,13 +29,11 @@ use std::collections::{BTreeSet, HashMap};
 
 use br_codegen::hoist::HoistPlan;
 use br_codegen::BrOptions;
-use br_isa::{encode, AsmFunc, AsmItem, Label, MInst, Machine, Reloc, Src2, SymRef};
+use br_isa::{
+    encode, AsmFunc, AsmItem, Label, MInst, Machine, Reloc, Src2, SymRef, FRESH_LABEL_BASE,
+};
 
 use crate::VerifyError;
-
-/// Block labels are `Label(block id)`; emission-internal labels (jump
-/// tables, out-of-line sequences) start here. See `emit::fresh_label`.
-const FRESH_LABEL_BASE: u32 = 1_000_000;
 
 /// What a branch register may name.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -105,30 +103,48 @@ pub fn check_asm(
     hoist: Option<&HoistPlan>,
     opts: &BrOptions,
 ) -> Result<(), VerifyError> {
-    check_encoding(asm, machine)?;
+    match check_asm_all(asm, machine, hoist, opts).into_iter().next() {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+/// [`check_asm`], but collecting *every* protocol violation in the
+/// function instead of stopping at the first. Violations come back in
+/// scan order per checker (encoding first, then the machine-specific
+/// discipline), so the first element is exactly what [`check_asm`]
+/// would have returned. An empty vector means the function is clean.
+pub fn check_asm_all(
+    asm: &AsmFunc,
+    machine: Machine,
+    hoist: Option<&HoistPlan>,
+    opts: &BrOptions,
+) -> Vec<VerifyError> {
+    let mut sink = Vec::new();
+    check_encoding(asm, machine, &mut sink);
     match machine {
-        Machine::Baseline => check_delay_slots(asm),
+        Machine::Baseline => check_delay_slots(asm, &mut sink),
         Machine::BranchReg => {
             let lint = BrLint::new(asm, opts);
             let states = lint.dataflow();
-            lint.check_uses(&states)?;
-            lint.check_pairing()?;
+            lint.check_uses(&states, &mut sink);
+            lint.check_pairing(&mut sink);
             if let Some(plan) = hoist {
-                lint.check_hoist(plan, opts, &states)?;
+                lint.check_hoist(plan, opts, &states, &mut sink);
             }
-            Ok(())
         }
     }
+    sink
 }
 
 /// Every instruction must encode for the target machine. Unpatched
 /// relocation fields hold zero, which always encodes; the assembler
 /// re-checks patched values at link time.
-fn check_encoding(asm: &AsmFunc, machine: Machine) -> Result<(), VerifyError> {
+fn check_encoding(asm: &AsmFunc, machine: Machine, sink: &mut Vec<VerifyError>) {
     for (index, item) in asm.items.iter().enumerate() {
         if let AsmItem::Inst(inst, _) = item {
             if let Err(err) = encode(machine, *inst) {
-                return Err(VerifyError::Encoding {
+                sink.push(VerifyError::Encoding {
                     func: asm.name.clone(),
                     index,
                     err,
@@ -136,12 +152,11 @@ fn check_encoding(asm: &AsmFunc, machine: Machine) -> Result<(), VerifyError> {
             }
         }
     }
-    Ok(())
 }
 
 /// Baseline delay-slot discipline: every delayed transfer is followed by
 /// exactly one instruction that is neither a transfer nor a join point.
-fn check_delay_slots(asm: &AsmFunc) -> Result<(), VerifyError> {
+fn check_delay_slots(asm: &AsmFunc, sink: &mut Vec<VerifyError>) {
     for (index, item) in asm.items.iter().enumerate() {
         let AsmItem::Inst(inst, _) = item else {
             continue;
@@ -157,19 +172,18 @@ fn check_delay_slots(asm: &AsmFunc) -> Result<(), VerifyError> {
         match asm.items.get(index + 1) {
             Some(AsmItem::Inst(slot, _)) => {
                 if slot.is_baseline_transfer() {
-                    return Err(err(format!("transfer `{slot}` in the delay slot")));
+                    sink.push(err(format!("transfer `{slot}` in the delay slot")));
                 }
             }
             Some(AsmItem::Label(l)) => {
-                return Err(err(format!("label {l} in the delay slot")));
+                sink.push(err(format!("label {l} in the delay slot")));
             }
             Some(AsmItem::Word(..)) => {
-                return Err(err("data word in the delay slot".into()));
+                sink.push(err("data word in the delay slot".into()));
             }
-            None => return Err(err("transfer at the end of the stream".into())),
+            None => sink.push(err("transfer at the end of the stream".into())),
         }
     }
-    Ok(())
 }
 
 /// The branch-register protocol analysis for one function.
@@ -446,7 +460,7 @@ impl<'a> BrLint<'a> {
     /// register-to-register moves. `bstore` is exempt — prologues save
     /// caller-saved registers whose incoming value is legitimately
     /// meaningless.
-    fn check_uses(&self, states: &[Option<BState>]) -> Result<(), VerifyError> {
+    fn check_uses(&self, states: &[Option<BState>], sink: &mut Vec<VerifyError>) {
         for (index, item) in self.asm.items.iter().enumerate() {
             let AsmItem::Inst(inst, _) = item else {
                 continue;
@@ -462,30 +476,29 @@ impl<'a> BrLint<'a> {
             let k = inst.br();
             let fused = matches!(inst, MInst::CmpBr { .. } | MInst::FCmpBr { .. });
             if k != 0 && !fused && matches!(s[k as usize], BVal::Undef) {
-                return Err(unset(k));
+                sink.push(unset(k));
             }
             match inst {
                 MInst::CmpBr { bt, .. } | MInst::FCmpBr { bt, .. }
                     if bt.0 != 0 && matches!(s[bt.0 as usize], BVal::Undef) =>
                 {
-                    return Err(unset(bt.0));
+                    sink.push(unset(bt.0));
                 }
                 MInst::BMovB { bs, .. }
                     if bs.0 != 0 && matches!(s[bs.0 as usize], BVal::Undef) =>
                 {
-                    return Err(unset(bs.0));
+                    sink.push(unset(bs.0));
                 }
                 _ => {}
             }
         }
-        Ok(())
     }
 
     /// A compare with `br == 0` computes a conditional target into
     /// `b[7]` for the *next* instruction to consume: that carrier must
     /// exist, transfer through `b[7]`, not redefine `b[7]`, and not be
     /// another compare (which would overwrite the pending result).
-    fn check_pairing(&self) -> Result<(), VerifyError> {
+    fn check_pairing(&self, sink: &mut Vec<VerifyError>) {
         for (index, item) in self.asm.items.iter().enumerate() {
             let AsmItem::Inst(inst, _) = item else {
                 continue;
@@ -501,31 +514,24 @@ impl<'a> BrLint<'a> {
             match self.asm.items.get(index + 1) {
                 Some(AsmItem::Inst(carrier, _)) => {
                     if matches!(carrier, MInst::CmpBr { .. } | MInst::FCmpBr { .. }) {
-                        return Err(err(format!(
-                            "carrier `{carrier}` is itself a compare"
-                        )));
-                    }
-                    if carrier.br() != 7 {
-                        return Err(err(format!(
+                        sink.push(err(format!("carrier `{carrier}` is itself a compare")));
+                    } else if carrier.br() != 7 {
+                        sink.push(err(format!(
                             "next instruction `{carrier}` does not transfer through b[7]"
                         )));
-                    }
-                    if breg_def(carrier) == Some(7) {
-                        return Err(err(format!(
-                            "carrier `{carrier}` redefines b[7]"
-                        )));
+                    } else if breg_def(carrier) == Some(7) {
+                        sink.push(err(format!("carrier `{carrier}` redefines b[7]")));
                     }
                 }
                 Some(AsmItem::Label(l)) => {
-                    return Err(err(format!("label {l} between compare and carrier")));
+                    sink.push(err(format!("label {l} between compare and carrier")));
                 }
                 Some(AsmItem::Word(..)) => {
-                    return Err(err("data word between compare and carrier".into()));
+                    sink.push(err("data word between compare and carrier".into()));
                 }
-                None => return Err(err("compare at the end of the stream".into())),
+                None => sink.push(err("compare at the end of the stream".into())),
             }
         }
-        Ok(())
     }
 
     /// Hoist discipline: inside every block where the plan reserves a
@@ -537,7 +543,8 @@ impl<'a> BrLint<'a> {
         plan: &HoistPlan,
         opts: &BrOptions,
         states: &[Option<BState>],
-    ) -> Result<(), VerifyError> {
+        sink: &mut Vec<VerifyError>,
+    ) {
         let (_, caller_pool) = opts.pools();
         let mut cur_block: Option<u32> = None;
         for (index, item) in self.asm.items.iter().enumerate() {
@@ -562,7 +569,7 @@ impl<'a> BrLint<'a> {
             if let Some(d) = breg_def(inst) {
                 let is_hoisted_calc = plan.preheader(b).iter().any(|h| h.breg == d);
                 if reserved.contains(&d) && !is_hoisted_calc {
-                    return Err(clobbered(d));
+                    sink.push(clobbered(d));
                 }
             }
             // A call inside the protected region destroys every
@@ -585,13 +592,12 @@ impl<'a> BrLint<'a> {
                                 && !computed_here.iter().any(|h| h.breg == r)
                         });
                         if let Some(&r) = live_reserved {
-                            return Err(clobbered(r));
+                            sink.push(clobbered(r));
                         }
                     }
                 }
             }
         }
-        Ok(())
     }
 }
 
@@ -622,6 +628,66 @@ mod tests {
                 breg: 1,
             })
         );
+    }
+
+    #[test]
+    fn check_asm_all_collects_every_violation() {
+        // Two independent undefined-register reads on one straight-line
+        // path: the collecting variant reports both; `check_asm` still
+        // reports only the first, and the first collected error matches
+        // it exactly.
+        let f = func(vec![
+            inst(MInst::BMovB {
+                bd: BReg(1),
+                bs: BReg(2),
+                br: 0,
+            }),
+            inst(MInst::BMovB {
+                bd: BReg(3),
+                bs: BReg(4),
+                br: 0,
+            }),
+            inst(MInst::Halt),
+        ]);
+        let all = check_asm_all(&f, Machine::BranchReg, None, &BrOptions::default());
+        assert_eq!(
+            all,
+            vec![
+                VerifyError::UnsetBranchReg {
+                    func: "t".into(),
+                    index: 0,
+                    breg: 2,
+                },
+                VerifyError::UnsetBranchReg {
+                    func: "t".into(),
+                    index: 1,
+                    breg: 4,
+                },
+            ]
+        );
+        assert_eq!(
+            check_asm(&f, Machine::BranchReg, None, &BrOptions::default()),
+            Err(all[0].clone())
+        );
+    }
+
+    #[test]
+    fn check_asm_all_spans_checkers() {
+        // A baseline stream with a delay-slot violation *and* an
+        // encoding violation: both checkers contribute, encoding first.
+        let f = func(vec![
+            inst(MInst::Bcc {
+                cc: Cc::Eq,
+                float: false,
+                disp: 1 << 24, // out of Bcc's displacement range
+            }),
+            AsmItem::Label(Label(3)),
+            inst(MInst::Halt),
+        ]);
+        let all = check_asm_all(&f, Machine::Baseline, None, &BrOptions::default());
+        assert_eq!(all.len(), 2, "{all:?}");
+        assert!(matches!(all[0], VerifyError::Encoding { index: 0, .. }));
+        assert!(matches!(all[1], VerifyError::DelaySlot { index: 0, .. }));
     }
 
     #[test]

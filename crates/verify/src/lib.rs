@@ -37,10 +37,13 @@ use br_isa::{EncodeError, Machine};
 
 mod asm_check;
 mod ir_check;
+mod program_lint;
 mod regalloc_check;
+pub mod tv;
 
-pub use asm_check::check_asm;
+pub use asm_check::{check_asm, check_asm_all};
 pub use ir_check::check_ir;
+pub use program_lint::lint_program;
 pub use regalloc_check::check_regalloc;
 
 /// A pipeline-invariant violation, attributed to the stage whose output

@@ -1,0 +1,549 @@
+//! Hash-consed symbolic expressions for translation validation.
+//!
+//! One arena is shared by the two sides of a validation (baseline and
+//! branch-register code for the same function), so structurally equal
+//! values get the *same* [`ExprId`] no matter which side built them.
+//! Cross-side agreement checks then reduce to integer equality.
+//!
+//! Symbols fall into two families:
+//!
+//! * **shared** — values both machines agree on by construction:
+//!   incoming arguments ([`Expr::Param`]), stack-slot addresses named
+//!   slot-for-slot ([`Expr::SlotAddr`]), global addresses by symbol
+//!   name ([`Expr::GlobalAddr`]), initial observable memory
+//!   ([`Expr::Mem0`]), call results ([`Expr::RetVal`]), and join
+//!   classes ([`Expr::Class`]).
+//! * **per-side** — values that are real but differ between the two
+//!   machines (code addresses, entry register junk, caller-saved
+//!   residue after calls). These are tagged with a [`Side`] so they can
+//!   never spuriously prove a cross-side equality.
+//!
+//! Constant folding mirrors the emulator's `alu` exactly (wrapping
+//! arithmetic, shift counts masked to 5 bits, no fold for a zero
+//! divisor), plus the algebraic identities the emitters rely on:
+//! `add r, s, 0` register moves and `sethi`/`orlo` address pairing.
+
+use std::collections::HashMap;
+
+use br_isa::{AluOp, FpuOp, MemWidth};
+
+/// Index of an expression in the [`Arena`].
+pub type ExprId = u32;
+
+/// Interned symbol name.
+pub type Name = u32;
+
+/// Which machine's code built a per-side symbol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Side {
+    /// The baseline (delayed-branch) machine.
+    Base,
+    /// The branch-register machine.
+    Br,
+}
+
+impl Side {
+    /// Short display tag.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Side::Base => "base",
+            Side::Br => "br",
+        }
+    }
+}
+
+/// Location namespace for [`Expr::Entry`] and [`Expr::Junk`] symbols.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum LocKind {
+    /// Integer register.
+    Reg,
+    /// Float register.
+    FReg,
+    /// Branch register.
+    BReg,
+    /// Condition-code latch (baseline compare operands).
+    Latch,
+    /// Private frame memory word, keyed by entry-sp-relative offset.
+    Priv,
+}
+
+/// The symbol under a `Hi`/`Lo` relocation pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HiSym {
+    /// A data global, by interned name (shared: data layout is keyed by
+    /// symbol name on both machines).
+    Data(Name),
+    /// A function entry (per side: text layout differs).
+    Func(Side, Name),
+    /// A function-local label (per side: label numbering and layout of
+    /// emission-internal labels differ).
+    Label(Side, u32),
+}
+
+/// A symbolic value.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// A known 32-bit constant.
+    Const(i32),
+    /// Logical incoming argument `j`, in declaration order (shared).
+    Param(u32),
+    /// Address of IR stack slot `slot` plus `off` bytes (shared: the
+    /// two frame layouts differ, but slots correspond index-for-index).
+    SlotAddr { slot: u32, off: i32 },
+    /// Address of data global `name` plus `off` bytes (shared).
+    GlobalAddr { name: Name, off: i32 },
+    /// Entry address of function `name` (per side).
+    FuncAddr { side: Side, name: Name },
+    /// Address a function-local label binds to (per side). Doubles as a
+    /// jump-table base when loaded through.
+    LabelAddr { side: Side, label: u32 },
+    /// Address of instruction word `word` of the function being
+    /// validated (per side): `pc`-relative values such as the return
+    /// address a call writes.
+    CodeAddr { side: Side, word: u32 },
+    /// The caller's return address — what `r31`/`b7` holds at entry.
+    RetTarget(Side),
+    /// Entry stack pointer plus `off` bytes (per side).
+    SpRel { side: Side, off: i32 },
+    /// Unconstrained value location `(kind, loc)` held at entry.
+    Entry { side: Side, kind: LocKind, loc: u32 },
+    /// Unconstrained caller-saved residue left by the call at
+    /// instruction word `word`.
+    Junk {
+        side: Side,
+        word: u32,
+        kind: LocKind,
+        loc: u32,
+    },
+    /// Join class: the common value of the locations that met with
+    /// pairwise-equal values at `anchor`; `rep` encodes the smallest
+    /// member location, which makes the symbol stable across fixpoint
+    /// iterations.
+    Class { anchor: u32, rep: u64 },
+    /// Initial observable memory (globals + stack slots).
+    Mem0,
+    /// High 21 bits of a relocated symbol address (`sethi`).
+    Hi(HiSym),
+    /// Low 11 bits of a relocated symbol address.
+    Lo(HiSym),
+    /// Integer ALU operation.
+    Alu { op: AluOp, a: ExprId, b: ExprId },
+    /// Float operation.
+    Fpu { op: FpuOp, a: ExprId, b: ExprId },
+    /// Float negation.
+    FNeg(ExprId),
+    /// Int-to-float conversion.
+    ItoF(ExprId),
+    /// Float-to-int (truncating) conversion.
+    FtoI(ExprId),
+    /// Observable-memory load that could not be forwarded.
+    Load {
+        mem: ExprId,
+        addr: ExprId,
+        w: MemWidth,
+    },
+    /// Observable-memory store: the chain node appended by one store.
+    Store {
+        mem: ExprId,
+        addr: ExprId,
+        val: ExprId,
+        w: MemWidth,
+    },
+    /// A call event: callee name, logical arguments in declaration
+    /// order, and observable memory at the call. Two calls with equal
+    /// components behave identically (the machines are deterministic),
+    /// so this node needs no sequence number.
+    Call {
+        name: Name,
+        args: Box<[ExprId]>,
+        mem: ExprId,
+    },
+    /// The return value of a call.
+    RetVal(ExprId),
+    /// Observable memory after a call.
+    MemAfter(ExprId),
+    /// The word loaded from the jump table bound at `label`, indexed by
+    /// the byte offset `idx`.
+    TableEntry { side: Side, label: u32, idx: ExprId },
+}
+
+/// Copyable summary of an expression node, used by the `alu` fold rules
+/// so they never hold an arena borrow across a cons.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Shape {
+    Const(i32),
+    SpRel(Side, i32),
+    Slot(u32, i32),
+    Global(Name, i32),
+    AddConst(ExprId, i32),
+    Hi(HiSym),
+    Lo(HiSym),
+    Other,
+}
+
+/// The hash-consing arena, including the symbol-name interner.
+pub struct Arena {
+    exprs: Vec<Expr>,
+    map: HashMap<Expr, ExprId>,
+    names: Vec<String>,
+    name_map: HashMap<String, Name>,
+}
+
+/// Mirror of the emulator's `alu` constant evaluation. Returns `None`
+/// where the emulator would fault (zero divisor), so the expression
+/// stays symbolic and both sides keep the same opaque node.
+pub fn fold_const(op: AluOp, a: i32, b: i32) -> Option<i32> {
+    Some(match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::Mul => a.wrapping_mul(b),
+        AluOp::Div => {
+            if b == 0 {
+                return None;
+            }
+            a.wrapping_div(b)
+        }
+        AluOp::Rem => {
+            if b == 0 {
+                return None;
+            }
+            a.wrapping_rem(b)
+        }
+        AluOp::And => a & b,
+        AluOp::Or => a | b,
+        AluOp::Xor => a ^ b,
+        AluOp::Sll => a.wrapping_shl(b as u32 & 31),
+        AluOp::Srl => ((a as u32) >> (b as u32 & 31)) as i32,
+        AluOp::Sra => a >> (b as u32 & 31),
+        AluOp::OrLo => a | b,
+    })
+}
+
+impl Arena {
+    /// An empty arena.
+    pub fn new() -> Arena {
+        Arena {
+            exprs: Vec::new(),
+            map: HashMap::new(),
+            names: Vec::new(),
+            name_map: HashMap::new(),
+        }
+    }
+
+    /// Intern a symbol name.
+    pub fn intern(&mut self, s: &str) -> Name {
+        if let Some(&n) = self.name_map.get(s) {
+            return n;
+        }
+        let n = self.names.len() as Name;
+        self.names.push(s.to_string());
+        self.name_map.insert(s.to_string(), n);
+        n
+    }
+
+    /// The string a [`Name`] interns.
+    pub fn name(&self, n: Name) -> &str {
+        &self.names[n as usize]
+    }
+
+    /// Hash-cons an expression as-is (no folding).
+    pub fn mk(&mut self, e: Expr) -> ExprId {
+        if let Some(&id) = self.map.get(&e) {
+            return id;
+        }
+        let id = self.exprs.len() as ExprId;
+        self.exprs.push(e.clone());
+        self.map.insert(e, id);
+        id
+    }
+
+    /// The expression an id denotes.
+    pub fn get(&self, id: ExprId) -> &Expr {
+        &self.exprs[id as usize]
+    }
+
+    /// Shorthand for a constant.
+    pub fn c(&mut self, v: i32) -> ExprId {
+        self.mk(Expr::Const(v))
+    }
+
+    /// The address a `Hi`/`Lo` pair resolves to.
+    fn addr_of(&mut self, s: HiSym) -> ExprId {
+        match s {
+            HiSym::Data(name) => self.mk(Expr::GlobalAddr { name, off: 0 }),
+            HiSym::Func(side, name) => self.mk(Expr::FuncAddr { side, name }),
+            HiSym::Label(side, label) => self.mk(Expr::LabelAddr { side, label }),
+        }
+    }
+
+    /// Copyable summary of an expression, for fold rules that must not
+    /// hold a borrow while consing replacements.
+    fn shape(&self, id: ExprId) -> Shape {
+        match *self.get(id) {
+            Expr::Const(v) => Shape::Const(v),
+            Expr::SpRel { side, off } => Shape::SpRel(side, off),
+            Expr::SlotAddr { slot, off } => Shape::Slot(slot, off),
+            Expr::GlobalAddr { name, off } => Shape::Global(name, off),
+            Expr::Hi(s) => Shape::Hi(s),
+            Expr::Lo(s) => Shape::Lo(s),
+            Expr::Alu {
+                op: AluOp::Add,
+                a,
+                b,
+            } => {
+                if let Expr::Const(k) = *self.get(b) {
+                    Shape::AddConst(a, k)
+                } else {
+                    Shape::Other
+                }
+            }
+            _ => Shape::Other,
+        }
+    }
+
+    /// ALU constructor with emulator-exact constant folding plus the
+    /// address algebra the emitters rely on: `x + 0` register moves,
+    /// constant-offset accumulation on `SpRel`/`SlotAddr`/`GlobalAddr`,
+    /// same-base pointer differences, and `Hi`/`Lo` pairing.
+    pub fn alu(&mut self, op: AluOp, a: ExprId, b: ExprId) -> ExprId {
+        let (sa, sb) = (self.shape(a), self.shape(b));
+        if let (Shape::Const(x), Shape::Const(y)) = (sa, sb) {
+            if let Some(v) = fold_const(op, x, y) {
+                return self.c(v);
+            }
+        }
+        match op {
+            AluOp::Add => {
+                // Canonicalize a constant operand to the right.
+                if matches!(sa, Shape::Const(_)) {
+                    return self.alu(AluOp::Add, b, a);
+                }
+                if let Shape::Const(k) = sb {
+                    if k == 0 {
+                        return a;
+                    }
+                    match sa {
+                        Shape::SpRel(side, off) => {
+                            return self.mk(Expr::SpRel {
+                                side,
+                                off: off.wrapping_add(k),
+                            });
+                        }
+                        Shape::Slot(slot, off) => {
+                            return self.mk(Expr::SlotAddr {
+                                slot,
+                                off: off.wrapping_add(k),
+                            });
+                        }
+                        Shape::Global(name, off) => {
+                            return self.mk(Expr::GlobalAddr {
+                                name,
+                                off: off.wrapping_add(k),
+                            });
+                        }
+                        Shape::AddConst(x, m) => {
+                            let kc = self.c(m.wrapping_add(k));
+                            return self.alu(AluOp::Add, x, kc);
+                        }
+                        _ => {}
+                    }
+                }
+                if let Some(id) = self.try_hi_lo(sa, sb) {
+                    return id;
+                }
+            }
+            AluOp::Sub => {
+                if let Shape::Const(k) = sb {
+                    let nk = self.c(k.wrapping_neg());
+                    return self.alu(AluOp::Add, a, nk);
+                }
+                // Same-base pointer difference.
+                match (sa, sb) {
+                    (Shape::SpRel(s1, o1), Shape::SpRel(s2, o2)) if s1 == s2 => {
+                        return self.c(o1.wrapping_sub(o2));
+                    }
+                    (Shape::Slot(i1, o1), Shape::Slot(i2, o2)) if i1 == i2 => {
+                        return self.c(o1.wrapping_sub(o2));
+                    }
+                    (Shape::Global(n1, o1), Shape::Global(n2, o2)) if n1 == n2 => {
+                        return self.c(o1.wrapping_sub(o2));
+                    }
+                    _ => {}
+                }
+                if a == b {
+                    return self.c(0);
+                }
+            }
+            AluOp::OrLo | AluOp::Or => {
+                if let Some(id) = self.try_hi_lo(sa, sb) {
+                    return id;
+                }
+                if let Shape::Const(0) = sb {
+                    return a;
+                }
+            }
+            _ => {}
+        }
+        self.mk(Expr::Alu { op, a, b })
+    }
+
+    /// `Hi(s) (+|or) Lo(s)` resolves to the full symbol address.
+    fn try_hi_lo(&mut self, sa: Shape, sb: Shape) -> Option<ExprId> {
+        let sym = match (sa, sb) {
+            (Shape::Hi(s1), Shape::Lo(s2)) if s1 == s2 => s1,
+            (Shape::Lo(s1), Shape::Hi(s2)) if s1 == s2 => s1,
+            _ => return None,
+        };
+        Some(self.addr_of(sym))
+    }
+
+    /// Resolve an address expression to a named disjointness region:
+    /// `(region key, byte offset)`. Regions with different keys never
+    /// alias (distinct globals, distinct slots, globals vs. slots);
+    /// offsets within one region compare arithmetically.
+    pub fn region_of(&self, addr: ExprId) -> Option<(Region, i32)> {
+        match *self.get(addr) {
+            Expr::GlobalAddr { name, off } => Some((Region::Global(name), off)),
+            Expr::SlotAddr { slot, off } => Some((Region::Slot(slot), off)),
+            _ => None,
+        }
+    }
+
+    /// Number of expressions interned so far.
+    pub fn len(&self) -> usize {
+        self.exprs.len()
+    }
+
+    /// Whether no expressions have been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.exprs.is_empty()
+    }
+}
+
+impl Default for Arena {
+    fn default() -> Arena {
+        Arena::new()
+    }
+}
+
+/// A disjointness region for store-forwarding (see [`Arena::region_of`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Region {
+    /// A data global, by interned name.
+    Global(Name),
+    /// An IR stack slot, by index.
+    Slot(u32),
+}
+
+/// Whether two accesses are provably disjoint: both resolve to regions
+/// and either the regions differ or the byte ranges do not overlap.
+pub fn disjoint(arena: &Arena, a: ExprId, wa: MemWidth, b: ExprId, wb: MemWidth) -> bool {
+    let (Some((ra, oa)), Some((rb, ob))) = (arena.region_of(a), arena.region_of(b)) else {
+        return false;
+    };
+    if ra != rb {
+        return true;
+    }
+    let (sa, sb) = (width_bytes(wa), width_bytes(wb));
+    oa.saturating_add(sa) <= ob || ob.saturating_add(sb) <= oa
+}
+
+/// Access width in bytes.
+pub fn width_bytes(w: MemWidth) -> i32 {
+    match w {
+        MemWidth::Byte => 1,
+        MemWidth::Word => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn consing_is_stable() {
+        let mut a = Arena::new();
+        let x = a.c(7);
+        let y = a.c(7);
+        assert_eq!(x, y);
+        let p1 = a.mk(Expr::Param(0));
+        let p2 = a.mk(Expr::Param(0));
+        assert_eq!(p1, p2);
+        assert_ne!(x, p1);
+    }
+
+    #[test]
+    fn add_zero_is_identity_and_offsets_accumulate() {
+        let mut a = Arena::new();
+        let p = a.mk(Expr::Param(0));
+        let z = a.c(0);
+        assert_eq!(a.alu(AluOp::Add, p, z), p);
+        let sp = a.mk(Expr::SpRel {
+            side: Side::Base,
+            off: -32,
+        });
+        let k = a.c(8);
+        let sp2 = a.alu(AluOp::Add, sp, k);
+        assert_eq!(
+            *a.get(sp2),
+            Expr::SpRel {
+                side: Side::Base,
+                off: -24
+            }
+        );
+        // Nested constant offsets reassociate.
+        let q = a.mk(Expr::Param(1));
+        let k1 = a.c(3);
+        let s1 = a.alu(AluOp::Add, q, k1);
+        let k2 = a.c(4);
+        let s2 = a.alu(AluOp::Add, s1, k2);
+        let k7 = a.c(7);
+        assert_eq!(s2, a.alu(AluOp::Add, q, k7));
+    }
+
+    #[test]
+    fn folding_mirrors_emulator_alu() {
+        let mut a = Arena::new();
+        let x = a.c(i32::MIN);
+        let y = a.c(-1);
+        // wrapping div, like the emulator
+        let d = a.alu(AluOp::Div, x, y);
+        assert_eq!(*a.get(d), Expr::Const(i32::MIN));
+        // zero divisor stays symbolic
+        let z = a.c(0);
+        let dz = a.alu(AluOp::Div, x, z);
+        assert!(matches!(*a.get(dz), Expr::Alu { op: AluOp::Div, .. }));
+        // shifts mask the count
+        let one = a.c(1);
+        let c33 = a.c(33);
+        let s = a.alu(AluOp::Sll, one, c33);
+        assert_eq!(*a.get(s), Expr::Const(2));
+    }
+
+    #[test]
+    fn hi_lo_pairs_resolve_addresses() {
+        let mut a = Arena::new();
+        let g = a.intern("counter");
+        let hi = a.mk(Expr::Hi(HiSym::Data(g)));
+        let lo = a.mk(Expr::Lo(HiSym::Data(g)));
+        let addr = a.alu(AluOp::OrLo, hi, lo);
+        assert_eq!(*a.get(addr), Expr::GlobalAddr { name: g, off: 0 });
+    }
+
+    #[test]
+    fn disjointness_by_region() {
+        let mut a = Arena::new();
+        let g1 = a.intern("a");
+        let g2 = a.intern("b");
+        let x = a.mk(Expr::GlobalAddr { name: g1, off: 0 });
+        let y = a.mk(Expr::GlobalAddr { name: g2, off: 0 });
+        let x4 = a.mk(Expr::GlobalAddr { name: g1, off: 4 });
+        let s = a.mk(Expr::SlotAddr { slot: 0, off: 0 });
+        assert!(disjoint(&a, x, MemWidth::Word, y, MemWidth::Word));
+        assert!(disjoint(&a, x, MemWidth::Word, x4, MemWidth::Word));
+        assert!(!disjoint(&a, x, MemWidth::Word, x, MemWidth::Word));
+        assert!(disjoint(&a, x, MemWidth::Word, s, MemWidth::Word));
+        let p = a.mk(Expr::Param(0));
+        assert!(!disjoint(&a, x, MemWidth::Word, p, MemWidth::Word));
+    }
+}

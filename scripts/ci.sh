@@ -3,10 +3,13 @@
 # run. Everything is offline and deterministic; a clean exit means the
 # build, the lint gate, the full test suite, a 200-iteration
 # differential fuzz run (interpreter vs baseline machine vs
-# branch-register machine, with the br-verify stage gates enabled), the
-# ISA-coverage gate (br-prof --check-coverage), and the byte-identical
-# golden regeneration all passed. See TORTURE.md for what the torture
-# harness checks and VERIFY.md for the per-stage static invariants.
+# branch-register machine, with the br-verify stage gates and the
+# static translation-validation oracle enabled), the ISA-coverage gate
+# (br-prof --check-coverage), the br-tv translation-validation +
+# static-cost gate, and the byte-identical golden regeneration all
+# passed. See TORTURE.md for what the torture harness checks,
+# VERIFY.md for the per-stage static invariants, and TV.md for the
+# whole-program layer.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -27,8 +30,8 @@ echo "==> observability & timing-model cross-checks (named, for log visibility)"
 cargo test -q --test profile_equivalence --test trace_hook_cap \
     --test icache_properties --test pipeline_crosscheck
 
-echo "==> torture smoke run (seed 42, 200 iterations, verify gates on, 4 jobs, 60s/case budget)"
-cargo run --release -p br-torture -- --seed 42 --iters 200 --verify --jobs 4 --budget-ms 60000
+echo "==> torture smoke run (seed 42, 200 iterations, verify gates + tv oracle on, 4 jobs, 60s/case budget)"
+cargo run --release -p br-torture -- --seed 42 --iters 200 --verify --tv --jobs 4 --budget-ms 60000
 
 echo "==> fault-injection demo (typed errors, no panics)"
 cargo run --release -p br-torture -- --demo-fault
@@ -42,6 +45,9 @@ cargo run --release -p br-bench --bin perf -- compile --paper --reps 3 \
 
 echo "==> ISA-coverage gate (every legal encoding of both machines executes)"
 cargo run --release -p br-obs --bin br-prof -- --jobs 4 --check-coverage
+
+echo "==> translation-validation + static-cost gate (br-tv --check, test scale)"
+cargo run --release -p br-bench --bin br-tv -- --jobs 4 --check --out target/tv_report_ci.json
 
 echo "==> br-serve chaos smoke (real daemon, ephemeral port, panic isolation, graceful drain)"
 cargo build --release -p br-serve
@@ -72,7 +78,7 @@ echo "==> results goldens (txt + profile JSON) regenerate byte-identical"
 regen_dir="target/results_regen"
 rm -rf "$regen_dir"
 sh scripts/regen_results.sh "$regen_dir"
-for f in results/*.txt results/profile_suite.json; do
+for f in results/*.txt results/profile_suite.json results/tv_report.json; do
     if ! diff -u "$f" "$regen_dir/$(basename "$f")"; then
         echo "GOLDEN DRIFT: $f no longer regenerates byte-identical"
         exit 1

@@ -7,6 +7,9 @@
 #                                       current section (machine-dependent
 #                                       timings, so never part of the
 #                                       byte-identical golden check)
+#   scripts/regen_results.sh --tv       regenerate only results/tv_report.json
+#                                       (the translation-validation +
+#                                       static-cost report, see TV.md)
 #
 # The compile→emulate pipeline is deterministic, so rerunning this
 # script on an unchanged tree must reproduce every file byte-identical
@@ -19,6 +22,13 @@ if [ "${1:-}" = "--serve" ]; then
     echo "==> br-load --bench (re-recording BENCH_serve.json current section)"
     cargo run --release -p br-serve --bin br-load -- \
         --bench --requests 200 --threads 4 --record current
+    exit 0
+fi
+
+if [ "${1:-}" = "--tv" ]; then
+    echo "==> br-tv (regenerating results/tv_report.json)"
+    cargo run --release -p br-bench --bin br-tv -- \
+        --paper --jobs 4 --check --out results/tv_report.json
     exit 0
 fi
 
@@ -37,3 +47,9 @@ done
 # No --times, so the JSON is byte-deterministic at any --jobs level.
 echo "==> br-prof"
 ./target/release/br-prof --paper --out "$outdir/profile_suite.json"
+
+# Translation-validation + static-cost report (TV.md). --check keeps
+# the gate live even during regen; the JSON is byte-deterministic at
+# any --jobs level.
+echo "==> br-tv"
+./target/release/br-tv --paper --jobs 4 --check --out "$outdir/tv_report.json"
