@@ -8,13 +8,17 @@
 //!
 //! **emu** (the default) times the emulation hot path over the 19-program
 //! Appendix I suite and writes `BENCH_emulator.json` at the repo root.
-//! Two loop variants are measured:
+//! Four loop variants are measured:
 //!
-//! - **fast**: `Emulator::run` — no hook, no faults armed. After the
-//!   fast-path rework this is the predecoded, monomorphized loop.
+//! - **interp / threaded / traced**: `Emulator::run` — no hook, no
+//!   faults armed — once per [`ExecTier`] (interp is also recorded as
+//!   `fast_insts_per_sec` for cross-schema comparability).
 //! - **compat**: a `&mut dyn ExecHook` plus a never-firing armed fault,
 //!   which forces the instrumented loop through virtual dispatch — the
 //!   shape of the seed interpreter, kept as the honest "before" loop.
+//!
+//! In emu mode `--check RATIO` gates every recorded per-tier rate plus
+//! compat against the tracked `current` section.
 //!
 //! **compile** times cold suite compilation (source text → assembled
 //! `Program`, every workload × both machines) with the br-verify stage
@@ -34,7 +38,7 @@ use std::time::Instant;
 
 use br_bench::{extract_object, human, jobs_from_args, scale_from_args, scan_number};
 use br_core::{suite, Experiment, Machine, Program, Scale, Workload};
-use br_emu::{Emulator, ExecHook, Fault, NoHook};
+use br_emu::{Emulator, ExecHook, ExecTier, Fault, NoHook};
 
 const FUEL: u64 = 4_000_000_000;
 
@@ -148,37 +152,64 @@ fn write_tracker(
 
 // ---------------------------------------------------------------- emu --
 
+/// Which emulation loop a timed pass exercises.
+#[derive(Clone, Copy)]
+enum Variant {
+    /// `Emulator::run` on one execution tier, no hook, no faults.
+    Tier(ExecTier),
+    /// `&mut dyn ExecHook` plus a never-firing armed fault: the
+    /// instrumented loop through virtual dispatch (the seed loop shape).
+    Compat,
+}
+
 /// One timed pass over every compiled program: returns (instructions, seconds).
-fn pass(progs: &[Program], compat: bool) -> (u64, f64) {
+/// `caches` (parallel to `progs`) carries warmed superblock caches
+/// between passes so the traced tier is measured at steady state
+/// instead of re-paying heat counting and trace formation per rep.
+fn pass(
+    progs: &[Program],
+    variant: Variant,
+    caches: &mut [Option<br_emu::TraceCache>],
+) -> (u64, f64) {
     let mut insts = 0u64;
     let t = Instant::now();
-    for prog in progs {
-        let mut emu = Emulator::new(prog);
-        if compat {
-            // A fault armed at an unreachable step keeps the fault queue
-            // non-empty, which routes execution through the instrumented
-            // loop; dyn dispatch keeps the hook calls virtual.
-            emu.inject(Fault::CorruptReg {
-                at_step: u64::MAX,
-                reg: 1,
-                xor_mask: 0,
-            });
-            let hook: &mut dyn ExecHook = &mut NoHook;
-            emu.run_with_hook(FUEL, hook).expect("suite program runs");
-        } else {
-            emu.run(FUEL).expect("suite program runs");
+    for (i, prog) in progs.iter().enumerate() {
+        match variant {
+            Variant::Tier(tier) => {
+                let mut emu = Emulator::new(prog).with_tier(tier);
+                if let Some(cache) = caches[i].take() {
+                    emu.set_trace_cache(cache);
+                }
+                emu.run(FUEL).expect("suite program runs");
+                insts += emu.measurements().instructions;
+                caches[i] = emu.take_trace_cache();
+            }
+            Variant::Compat => {
+                let mut emu = Emulator::new(prog);
+                // A fault armed at an unreachable step keeps the fault queue
+                // non-empty, which routes execution through the instrumented
+                // loop; dyn dispatch keeps the hook calls virtual.
+                emu.inject(Fault::CorruptReg {
+                    at_step: u64::MAX,
+                    reg: 1,
+                    xor_mask: 0,
+                });
+                let hook: &mut dyn ExecHook = &mut NoHook;
+                emu.run_with_hook(FUEL, hook).expect("suite program runs");
+                insts += emu.measurements().instructions;
+            }
         }
-        insts += emu.measurements().instructions;
     }
     (insts, t.elapsed().as_secs_f64())
 }
 
 /// Best-of-`reps` instructions/second for one loop variant.
-fn best_ips(progs: &[Program], compat: bool, reps: u32) -> (u64, f64) {
+fn best_ips(progs: &[Program], variant: Variant, reps: u32) -> (u64, f64) {
     let mut best = f64::MAX;
     let mut insts = 0;
+    let mut caches: Vec<Option<br_emu::TraceCache>> = progs.iter().map(|_| None).collect();
     for _ in 0..reps {
-        let (n, secs) = pass(progs, compat);
+        let (n, secs) = pass(progs, variant, &mut caches);
         insts = n;
         best = best.min(secs);
     }
@@ -205,17 +236,30 @@ fn run_emu(args: &Args) {
         progs.len(),
         args.reps
     );
-    let (insts, fast_ips) = best_ips(&progs, false, args.reps);
+    let mut insts = 0u64;
+    let mut tier_ips = [0f64; 3];
+    for (i, tier) in ExecTier::ALL.into_iter().enumerate() {
+        let (n, ips) = best_ips(&progs, Variant::Tier(tier), args.reps);
+        insts = n;
+        tier_ips[i] = ips;
+        println!(
+            "  {:<12}: {} insts at {} insts/sec",
+            tier.name(),
+            human(n),
+            human(ips as u64)
+        );
+    }
+    let [interp_ips, threaded_ips, traced_ips] = tier_ips;
+    let (_, compat_ips) = best_ips(&progs, Variant::Compat, args.reps);
     println!(
-        "  fast loop   : {} insts at {} insts/sec",
-        human(insts),
-        human(fast_ips as u64)
-    );
-    let (_, compat_ips) = best_ips(&progs, true, args.reps);
-    println!(
-        "  compat loop : {} insts at {} insts/sec",
+        "  compat      : {} insts at {} insts/sec",
         human(insts),
         human(compat_ips as u64)
+    );
+    println!(
+        "  traced/interp: {:.2}x, threaded/interp: {:.2}x",
+        traced_ips / interp_ips,
+        threaded_ips / interp_ips
     );
 
     // End-to-end wall clock: compile + emulate both machines, full suite.
@@ -230,19 +274,71 @@ fn run_emu(args: &Args) {
         report.rows.len()
     );
 
+    // `fast_insts_per_sec` stays the headline metric (the hook-free
+    // default-tier loop, = interp) so the seed/current speedup ratio
+    // remains comparable across schema versions.
     let section = format!(
         "{{\n    \"unix_time\": {},\n    \"total_suite_insts\": {insts},\n    \
-         \"fast_insts_per_sec\": {fast_ips:.0},\n    \"compat_insts_per_sec\": {compat_ips:.0},\n    \
+         \"fast_insts_per_sec\": {interp_ips:.0},\n    \"interp_insts_per_sec\": {interp_ips:.0},\n    \
+         \"threaded_insts_per_sec\": {threaded_ips:.0},\n    \"traced_insts_per_sec\": {traced_ips:.0},\n    \
+         \"compat_insts_per_sec\": {compat_ips:.0},\n    \"traced_vs_interp\": {:.2},\n    \
          \"suite_wall_ms\": {wall_ms:.1},\n    \"jobs\": {jobs}\n  }}",
-        now_unix()
+        now_unix(),
+        traced_ips / interp_ips
     );
     let out_path = args
         .out
         .clone()
         .unwrap_or_else(|| root_path("BENCH_emulator.json"));
+
+    // Regression gate (before the tracker is overwritten): every tier,
+    // and the instrumented compat loop, must stay above RATIO x its
+    // recorded current value.
+    if let Some(ratio) = args.check {
+        let baseline_path = args.baseline.clone().unwrap_or_else(|| out_path.clone());
+        let baseline = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("--check needs a baseline at {baseline_path}: {e}"));
+        let current = extract_object(&baseline, "current")
+            .unwrap_or_else(|| panic!("baseline {baseline_path} has no current section"));
+        let fresh = [
+            ("interp_insts_per_sec", interp_ips),
+            ("threaded_insts_per_sec", threaded_ips),
+            ("traced_insts_per_sec", traced_ips),
+            ("compat_insts_per_sec", compat_ips),
+        ];
+        let mut failed = false;
+        for (key, got) in fresh {
+            // v1 trackers predate the per-tier keys; `interp` falls back
+            // to the old `fast` name, others are skipped until recorded.
+            let recorded = scan_number(&current, key).or_else(|| {
+                (key == "interp_insts_per_sec")
+                    .then(|| scan_number(&current, "fast_insts_per_sec"))
+                    .flatten()
+            });
+            let Some(recorded) = recorded else { continue };
+            let floor = recorded * ratio;
+            println!(
+                "  check {key}: {} vs floor {} ({ratio} x recorded {})",
+                human(got as u64),
+                human(floor as u64),
+                human(recorded as u64)
+            );
+            if got < floor {
+                eprintln!(
+                    "EMULATOR PERF REGRESSION: {key} {got:.0} insts/sec is below \
+                     {ratio} x the recorded {recorded:.0}"
+                );
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+    }
+
     write_tracker(
         &out_path,
-        "br-emulator-perf-v1",
+        "br-emulator-perf-v2",
         args.scale,
         report.rows.len(),
         &args.record,
@@ -250,7 +346,11 @@ fn run_emu(args: &Args) {
         "fast_insts_per_sec",
         "speedup_fast_vs_seed",
         "seed = pre-fast-path emulator; compat = instrumented loop via dyn hook \
-         (the seed loop shape); fast = Emulator::run",
+         (the seed loop shape); interp/threaded/traced = Emulator::run per ExecTier \
+         (fast = interp, kept for cross-schema comparability). total_suite_insts \
+         differs from seed by +207: PR 3 made codegen deterministic (ordered \
+         spill-use rewrites, total hoist-key ordering), which changed emitted \
+         code slightly; the count is stable since",
     );
 }
 

@@ -226,6 +226,10 @@ pub struct Experiment {
     /// serial so the shared constant pool keeps its layout, and
     /// per-function results reassemble in module order.
     pub jobs: usize,
+    /// Emulator execution tier for the experiment's runs. All tiers
+    /// produce byte-identical [`br_emu::Measurements`]; `Threaded` and
+    /// `Traced` only run faster. Defaults to the plain interpreter.
+    pub tier: br_emu::ExecTier,
 }
 
 impl Default for Experiment {
@@ -236,6 +240,7 @@ impl Default for Experiment {
             fuel: 4_000_000_000,
             verify: cfg!(debug_assertions),
             jobs: 1,
+            tier: br_emu::ExecTier::default(),
         }
     }
 }
@@ -498,7 +503,7 @@ impl Experiment {
     /// Compile an already-lowered module and run it on one machine.
     fn run_module(&self, module: &br_ir::Module, machine: Machine) -> Result<RunResult, Error> {
         let (prog, stats) = self.compile_module_for(module, machine)?;
-        let mut emu = br_emu::Emulator::new(&prog);
+        let mut emu = br_emu::Emulator::new(&prog).with_tier(self.tier);
         let exit = emu.run(self.fuel)?;
         Ok(RunResult {
             exit,
@@ -521,7 +526,7 @@ impl Experiment {
     ) -> Result<(RunResult, CacheStats), Error> {
         let (prog, stats) = self.compile(src, machine)?;
         let mut cache = ICacheSim::new(cfg);
-        let mut emu = br_emu::Emulator::new(&prog);
+        let mut emu = br_emu::Emulator::new(&prog).with_tier(self.tier);
         let exit = emu.run_with_hook(self.fuel, &mut cache)?;
         Ok((
             RunResult {
@@ -633,7 +638,7 @@ impl Experiment {
     ) -> Result<CostCheck, Error> {
         let (prog, _) = self.compile_module_for(module, machine)?;
         let mut hook = RetireCounts::new(&prog);
-        let mut emu = br_emu::Emulator::new(&prog);
+        let mut emu = br_emu::Emulator::new(&prog).with_tier(self.tier);
         emu.run_with_hook(self.fuel, &mut hook)?;
         let meas = emu.measurements();
         let static_est = br_verify::tv::static_cycles(&prog, &hook.counts, stages);

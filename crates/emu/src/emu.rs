@@ -62,16 +62,71 @@ pub enum Fault {
     FailMem { at_step: u64 },
 }
 
+impl Fault {
+    /// The first dynamic step at which this fault can fire.
+    fn at_step(self) -> u64 {
+        match self {
+            Fault::CorruptReg { at_step, .. }
+            | Fault::CorruptInst { at_step, .. }
+            | Fault::FailMem { at_step } => at_step,
+        }
+    }
+}
+
 /// Prefetch-state of one branch register (drives the Figure 9 distance
 /// accounting).
 #[derive(Debug, Clone, Copy)]
-struct BrState {
+pub(crate) struct BrState {
     /// Dynamic instruction index at which the current value's target
     /// prefetch was initiated.
-    assign_time: u64,
+    pub(crate) assign_time: u64,
     /// Whether the value was produced by a compare-with-assignment
     /// (meaning a transfer through it is a *conditional* transfer).
-    from_cond: bool,
+    pub(crate) from_cond: bool,
+}
+
+/// Which execution engine [`Emulator::run_with_hook`] uses for
+/// fault-free runs. Every tier produces byte-identical [`Measurements`],
+/// hook event streams, and [`EmuError`]s — the tiers differ only in
+/// speed. Runs with armed [`Fault`]s always use the interpreter
+/// regardless of the selected tier (fault injection rewrites fetched
+/// words mid-run, which the predecoded tiers cannot see).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ExecTier {
+    /// The reference match-loop interpreter.
+    #[default]
+    Interp,
+    /// Tier 1: function-pointer threaded dispatch over a predecoded
+    /// constant-folded operand table (see `dispatch.rs`).
+    Threaded,
+    /// Tier 2: threaded dispatch plus runtime-profiled superblock
+    /// traces executed as pre-linked handler runs (see `trace.rs`).
+    Traced,
+}
+
+impl ExecTier {
+    /// All tiers, in escalation order.
+    pub const ALL: [ExecTier; 3] = [ExecTier::Interp, ExecTier::Threaded, ExecTier::Traced];
+
+    /// Stable lowercase name (CLI flag value / bench JSON key prefix).
+    pub fn name(self) -> &'static str {
+        match self {
+            ExecTier::Interp => "interp",
+            ExecTier::Threaded => "threaded",
+            ExecTier::Traced => "traced",
+        }
+    }
+
+    /// Parse a [`ExecTier::name`] spelling.
+    pub fn from_name(s: &str) -> Option<ExecTier> {
+        ExecTier::ALL.into_iter().find(|t| t.name() == s)
+    }
+}
+
+impl fmt::Display for ExecTier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
 }
 
 /// An emulator instance bound to one assembled [`Program`].
@@ -88,7 +143,7 @@ struct BrState {
 /// # Ok::<(), br_emu::EmuError>(())
 /// ```
 pub struct Emulator<'p> {
-    prog: &'p Program,
+    pub(crate) prog: &'p Program,
     /// Predecoded text segment: one [`MInst`] per text word, built once
     /// at construction so the hot loop fetches by dense index instead of
     /// re-matching [`TextWord`] per dynamic instruction. Data words hold
@@ -97,24 +152,39 @@ pub struct Emulator<'p> {
     decoded: Vec<MInst>,
     /// `data_word[i]` ⇔ text word `i` is embedded data (jump table).
     data_word: Vec<bool>,
-    mem: Vec<u8>,
-    regs: [i32; 32],
-    fregs: [f32; 32],
-    bregs: [u32; 8],
-    brstate: [BrState; 8],
+    /// Flattened constant-folded operands for the threaded/traced tiers
+    /// (one [`br_isa::decoded::Decoded`] per text word, data words
+    /// included). Built lazily on the first non-interpreter run.
+    pub(crate) ops: Vec<br_isa::decoded::Decoded>,
+    /// Selected execution engine for fault-free runs.
+    tier: ExecTier,
+    /// Superblock cache of the traced tier (lazily created).
+    pub(crate) engine: Option<Box<crate::trace::TraceEngine>>,
+    pub(crate) mem: Vec<u8>,
+    pub(crate) regs: [i32; 32],
+    pub(crate) fregs: [f32; 32],
+    pub(crate) bregs: [u32; 8],
+    pub(crate) brstate: [BrState; 8],
     /// Last integer compare operands (baseline condition codes).
-    cc: (i32, i32),
+    pub(crate) cc: (i32, i32),
     /// Last float compare operands.
-    fcc: (f32, f32),
-    pc: u32,
-    meas: Measurements,
+    pub(crate) fcc: (f32, f32),
+    pub(crate) pc: u32,
+    pub(crate) meas: Measurements,
     /// Pending injected faults (see [`Fault`]).
     faults: Vec<Fault>,
+    /// Smallest `at_step` among the queued faults (`u64::MAX` when the
+    /// queue is empty), so the instrumented loop pays one integer
+    /// compare per instruction instead of a queue scan.
+    next_fault_step: u64,
     /// Armed by [`Fault::FailMem`]: the next load/store reports `BadMem`.
     fail_mem: bool,
     /// The `(addr, value)` written by the currently executing
     /// instruction, reported to [`ExecHook::retire`].
-    last_store: Option<(u32, i32)>,
+    pub(crate) last_store: Option<(u32, i32)>,
+    /// Diagnostic: instructions retired inside superblock traces
+    /// (subset of `meas.instructions`; always 0 off the traced tier).
+    pub(crate) trace_insts: u64,
 }
 
 impl<'p> Emulator<'p> {
@@ -152,6 +222,9 @@ impl<'p> Emulator<'p> {
             prog,
             decoded,
             data_word,
+            ops: Vec::new(),
+            tier: ExecTier::Interp,
+            engine: None,
             mem,
             regs,
             fregs: [0.0; 32],
@@ -165,9 +238,61 @@ impl<'p> Emulator<'p> {
             pc: prog.entry,
             meas: Measurements::new(),
             faults: Vec::new(),
+            next_fault_step: u64::MAX,
             fail_mem: false,
             last_store: None,
+            trace_insts: 0,
         }
+    }
+
+    /// Select the execution engine for fault-free runs (default:
+    /// [`ExecTier::Interp`]). Tier state (predecoded operands, formed
+    /// traces) persists across `run` calls on the same emulator.
+    pub fn set_tier(&mut self, tier: ExecTier) {
+        self.tier = tier;
+    }
+
+    /// Builder-style [`Emulator::set_tier`].
+    pub fn with_tier(mut self, tier: ExecTier) -> Emulator<'p> {
+        self.tier = tier;
+        self
+    }
+
+    /// The selected execution tier.
+    pub fn tier(&self) -> ExecTier {
+        self.tier
+    }
+
+    /// Diagnostic: how many retired instructions ran inside superblock
+    /// traces (a subset of [`Measurements::instructions`]; always 0 on
+    /// the interpreter and threaded tiers). Exposed so benchmarks can
+    /// report trace coverage.
+    pub fn traced_insts(&self) -> u64 {
+        self.trace_insts
+    }
+
+    /// Detach the warmed superblock cache so a fresh emulator for the
+    /// *same program* can adopt it via [`Emulator::set_trace_cache`]
+    /// and run at steady state from the first instruction. Returns
+    /// `None` when no traced-tier run has happened yet. Reuse changes
+    /// nothing observable: traces replay the interpreter's exact event
+    /// sequence whether formed this run or a previous one.
+    pub fn take_trace_cache(&mut self) -> Option<crate::trace::TraceCache> {
+        self.engine.take().map(|engine| crate::trace::TraceCache {
+            engine,
+            fingerprint: crate::trace::text_fingerprint(self.prog),
+        })
+    }
+
+    /// Adopt a cache detached by [`Emulator::take_trace_cache`].
+    /// Returns `false` (dropping the cache, keeping the emulator
+    /// untouched) when it was formed for different program text.
+    pub fn set_trace_cache(&mut self, cache: crate::trace::TraceCache) -> bool {
+        if cache.fingerprint != crate::trace::text_fingerprint(self.prog) {
+            return false;
+        }
+        self.engine = Some(cache.engine);
+        true
     }
 
     /// The collected dynamic measurements.
@@ -185,6 +310,7 @@ impl<'p> Emulator<'p> {
     /// fires once. The emulator must surface every injected fault as a
     /// typed [`EmuError`] (or survive it) — never panic or wedge.
     pub fn inject(&mut self, fault: Fault) {
+        self.next_fault_step = self.next_fault_step.min(fault.at_step());
         self.faults.push(fault);
     }
 
@@ -238,11 +364,48 @@ impl<'p> Emulator<'p> {
         hook: &mut H,
     ) -> Result<i32, EmuError> {
         let instrumented = !self.faults.is_empty() || self.fail_mem;
-        match (self.prog.machine, instrumented) {
-            (Machine::Baseline, false) => self.run_baseline::<H, false>(fuel, hook),
-            (Machine::Baseline, true) => self.run_baseline::<H, true>(fuel, hook),
-            (Machine::BranchReg, false) => self.run_brmachine::<H, false>(fuel, hook),
-            (Machine::BranchReg, true) => self.run_brmachine::<H, true>(fuel, hook),
+        if instrumented {
+            // Fault injection rewrites fetched words and registers
+            // mid-run; only the interpreter supports that, so armed
+            // faults route every tier through the instrumented loop.
+            return match self.prog.machine {
+                Machine::Baseline => self.run_baseline::<H, true>(fuel, hook),
+                Machine::BranchReg => self.run_brmachine::<H, true>(fuel, hook),
+            };
+        }
+        match (self.tier, self.prog.machine) {
+            (ExecTier::Interp, Machine::Baseline) => self.run_baseline::<H, false>(fuel, hook),
+            (ExecTier::Interp, Machine::BranchReg) => self.run_brmachine::<H, false>(fuel, hook),
+            (ExecTier::Threaded, machine) => {
+                self.ensure_ops();
+                match machine {
+                    Machine::Baseline => self.run_baseline_threaded::<H, false>(fuel, hook),
+                    Machine::BranchReg => self.run_brmachine_threaded::<H, false>(fuel, hook),
+                }
+            }
+            (ExecTier::Traced, machine) => {
+                self.ensure_ops();
+                self.ensure_engine();
+                match machine {
+                    Machine::Baseline => self.run_baseline_threaded::<H, true>(fuel, hook),
+                    Machine::BranchReg => self.run_brmachine_threaded::<H, true>(fuel, hook),
+                }
+            }
+        }
+    }
+
+    /// Build the flattened operand table on first use by a
+    /// non-interpreter tier.
+    fn ensure_ops(&mut self) {
+        if self.ops.len() != self.prog.text.len() {
+            self.ops = br_isa::decoded::predecode(self.prog);
+        }
+    }
+
+    /// Create the superblock cache on first use by the traced tier.
+    fn ensure_engine(&mut self) {
+        if self.engine.is_none() {
+            self.engine = Some(Box::new(crate::trace::TraceEngine::new(self.ops.len())));
         }
     }
 
@@ -263,6 +426,11 @@ impl<'p> Emulator<'p> {
 
     /// Apply any injected faults due at the current step. Called after
     /// fetch, before execution; may replace the fetched instruction.
+    /// The hot instrumented loop only calls this once
+    /// `Measurements::instructions` reaches [`Emulator::next_fault_step`],
+    /// so the per-instruction cost of an armed-but-not-yet-due fault is
+    /// a single compare rather than a queue scan.
+    #[cold]
     fn apply_faults(&mut self, pc: u32, inst: MInst) -> Result<MInst, EmuError> {
         if self.faults.is_empty() {
             return Ok(inst);
@@ -301,10 +469,16 @@ impl<'p> Emulator<'p> {
                 _ => i += 1,
             }
         }
+        self.next_fault_step = self
+            .faults
+            .iter()
+            .map(|f| f.at_step())
+            .min()
+            .unwrap_or(u64::MAX);
         Ok(inst)
     }
 
-    fn load(&mut self, pc: u32, addr: u32, w: MemWidth) -> Result<i32, EmuError> {
+    pub(crate) fn load(&mut self, pc: u32, addr: u32, w: MemWidth) -> Result<i32, EmuError> {
         self.meas.data_refs += 1;
         if self.fail_mem {
             self.fail_mem = false;
@@ -325,7 +499,7 @@ impl<'p> Emulator<'p> {
         }
     }
 
-    fn store(&mut self, pc: u32, addr: u32, v: i32, w: MemWidth) -> Result<(), EmuError> {
+    pub(crate) fn store(&mut self, pc: u32, addr: u32, v: i32, w: MemWidth) -> Result<(), EmuError> {
         self.meas.data_refs += 1;
         if self.fail_mem {
             self.fail_mem = false;
@@ -466,7 +640,7 @@ impl<'p> Emulator<'p> {
             }
             let pc = self.pc;
             let mut inst = self.fetch(pc)?;
-            if INSTRUMENTED {
+            if INSTRUMENTED && self.meas.instructions >= self.next_fault_step {
                 inst = self.apply_faults(pc, inst)?;
             }
             hook.fetch(pc);
@@ -587,7 +761,7 @@ impl<'p> Emulator<'p> {
             }
             let pc = self.pc;
             let mut inst = self.fetch(pc)?;
-            if INSTRUMENTED {
+            if INSTRUMENTED && self.meas.instructions >= self.next_fault_step {
                 inst = self.apply_faults(pc, inst)?;
             }
             hook.fetch(pc);
@@ -703,7 +877,7 @@ impl<'p> Emulator<'p> {
         }
     }
 
-    fn exec_cmpbr(&mut self, taken: bool, bt: u8, pc: u32, now: u64, fused: bool) {
+    pub(crate) fn exec_cmpbr(&mut self, taken: bool, bt: u8, pc: u32, now: u64, fused: bool) {
         if taken {
             self.meas.cond_taken += 1;
             let target = self.bregs[bt as usize];

@@ -15,10 +15,13 @@
 //! exactly as the paper derives its cycle estimates. Cache behaviour is
 //! observed through the [`ExecHook`] trait by `br-icache`.
 
+pub mod dispatch;
 pub mod emu;
 pub mod hooks;
 pub mod measure;
+pub mod trace;
 
-pub use emu::{EmuError, Emulator, Fault};
+pub use emu::{EmuError, Emulator, ExecTier, Fault};
+pub use trace::TraceCache;
 pub use hooks::{ExecHook, NoHook, TraceHook, TRACE_HOOK_DEFAULT_CAP};
 pub use measure::{Measurements, MAX_DIST_BUCKET};

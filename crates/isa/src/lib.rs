@@ -34,6 +34,7 @@
 //! [`Display`]: std::fmt::Display
 
 pub mod asm;
+pub mod decoded;
 pub mod encode;
 pub mod minst;
 pub mod program;

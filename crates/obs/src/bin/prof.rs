@@ -6,6 +6,7 @@
 //! br-prof --paper --out p.json    # paper-scale report to a file
 //! br-prof --check-coverage        # ISA-coverage gate: exit 1 on gaps
 //! br-prof --times --jobs 8        # include per-stage compile wall times
+//! br-prof --tier traced           # profile on the traced execution tier
 //! ```
 //!
 //! The report is deterministic at any `--jobs` level: programs run in a
@@ -28,6 +29,7 @@ struct Args {
     times: bool,
     check_coverage: bool,
     out: Option<String>,
+    tier: br_emu::ExecTier,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -38,6 +40,7 @@ fn parse_args() -> Result<Args, String> {
         times: false,
         check_coverage: false,
         out: None,
+        tier: br_emu::ExecTier::default(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -54,10 +57,15 @@ fn parse_args() -> Result<Args, String> {
                 args.top = v.parse().map_err(|_| format!("bad --top value: {v}"))?;
             }
             "--out" => args.out = Some(it.next().ok_or("--out needs a value")?.to_string()),
+            "--tier" => {
+                let v = it.next().ok_or("--tier needs a value")?;
+                args.tier = br_emu::ExecTier::from_name(&v)
+                    .ok_or_else(|| format!("bad --tier value: {v} (interp|threaded|traced)"))?;
+            }
             "--help" | "-h" => {
                 return Err(
                     "usage: br-prof [--paper] [--jobs N] [--top N] [--times] \
-                     [--check-coverage] [--out FILE]"
+                     [--check-coverage] [--out FILE] [--tier interp|threaded|traced]"
                         .to_string(),
                 )
             }
@@ -104,7 +112,7 @@ fn profile_one(
             .compile_module_metered(module, machine)
             .map_err(|e| format!("{name} on {machine}: {e}"))?;
         let mut hook = ProfileHook::new(&prog);
-        let mut emu = Emulator::new(&prog);
+        let mut emu = Emulator::new(&prog).with_tier(exp.tier);
         emu.run_with_hook(FUEL, &mut hook)
             .map_err(|e| format!("{name} on {machine}: {e}"))?;
         runs.push(hook.finish(name, emu.measurements()));
@@ -120,7 +128,10 @@ fn profile_one(
 
 fn real_main() -> Result<bool, String> {
     let args = parse_args()?;
-    let exp = Experiment::new();
+    let exp = Experiment {
+        tier: args.tier,
+        ..Experiment::new()
+    };
 
     let mut sources: Vec<(String, String)> = suite(args.scale)
         .into_iter()

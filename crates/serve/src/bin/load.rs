@@ -6,7 +6,8 @@
 //! br-load --addr HOST:PORT --smoke [--chaos]                         # CI smoke
 //! br-load --addr HOST:PORT --shutdown                                # drain server
 //! br-load --bench [--requests N] [--threads N]                       # in-process bench
-//!         [--record seed|current] [--check RATIO] [--out PATH] [--baseline PATH]
+//!         [--record seed|current] [--check RATIO] [--check-p99 FACTOR]
+//!         [--out PATH] [--baseline PATH]
 //! ```
 //!
 //! The load and bench modes drive Appendix I suite programs (Test
@@ -18,7 +19,10 @@
 //! `--record` stamps a section, `--check RATIO` exits nonzero when
 //! throughput falls below `RATIO ×` the value recorded in the
 //! `--baseline` tracker (default: the repo-root `BENCH_serve.json`),
-//! mirroring the br-bench perf gate.
+//! mirroring the br-bench perf gate, and `--check-p99 FACTOR` exits
+//! nonzero when measured p99 latency climbs above `FACTOR ×` the
+//! recorded p99 (a generous ceiling — tail latency on a shared box is
+//! far noisier than throughput, so the factor should be loose).
 //!
 //! The smoke mode is the ci.sh end-to-end probe: it checks liveness,
 //! correctness of a differential run, typed error classification for a
@@ -44,6 +48,7 @@ struct Args {
     bench: bool,
     record: String,
     check: Option<f64>,
+    check_p99: Option<f64>,
     out: String,
     baseline: Option<String>,
 }
@@ -60,6 +65,7 @@ fn parse_args() -> Args {
         bench: false,
         record: "current".to_string(),
         check: None,
+        check_p99: None,
         out: "BENCH_serve.json".to_string(),
         baseline: None,
     };
@@ -76,6 +82,7 @@ fn parse_args() -> Args {
             "--bench" => args.bench = true,
             "--record" => args.record = it.next().unwrap_or_else(|| "current".into()),
             "--check" => args.check = it.next().and_then(|v| v.parse().ok()),
+            "--check-p99" => args.check_p99 = it.next().and_then(|v| v.parse().ok()),
             "--out" => args.out = it.next().unwrap_or_else(|| "BENCH_serve.json".into()),
             "--baseline" => args.baseline = it.next(),
             other => {
@@ -386,20 +393,35 @@ fn bench(args: &Args) -> ExitCode {
     write_tracker(&args.out, &section, &args.record);
     println!("  tracker     : {} ({} section updated)", args.out, args.record);
 
-    if let Some(ratio) = args.check {
+    if args.check.is_some() || args.check_p99.is_some() {
         let baseline_path = args.baseline.clone().unwrap_or_else(|| "BENCH_serve.json".into());
         let baseline = std::fs::read_to_string(&baseline_path)
             .unwrap_or_else(|e| panic!("--check needs a baseline at {baseline_path}: {e}"));
-        let recorded = br_bench::extract_object(&baseline, "current")
-            .and_then(|c| br_bench::scan_number(&c, "requests_per_sec"))
-            .expect("baseline has current.requests_per_sec");
-        let floor = recorded * ratio;
-        println!(
-            "  check       : {rps:.0} req/sec vs floor {floor:.0} ({ratio} x recorded {recorded:.0})"
-        );
-        if rps < floor {
-            eprintln!("br-load bench: throughput regression (below {ratio} x recorded)");
-            return ExitCode::FAILURE;
+        let current = br_bench::extract_object(&baseline, "current")
+            .expect("baseline tracker has a current section");
+        if let Some(ratio) = args.check {
+            let recorded = br_bench::scan_number(&current, "requests_per_sec")
+                .expect("baseline has current.requests_per_sec");
+            let floor = recorded * ratio;
+            println!(
+                "  check       : {rps:.0} req/sec vs floor {floor:.0} ({ratio} x recorded {recorded:.0})"
+            );
+            if rps < floor {
+                eprintln!("br-load bench: throughput regression (below {ratio} x recorded)");
+                return ExitCode::FAILURE;
+            }
+        }
+        if let Some(factor) = args.check_p99 {
+            let recorded = br_bench::scan_number(&current, "p99_us")
+                .expect("baseline has current.p99_us");
+            let ceiling = recorded * factor;
+            println!(
+                "  check-p99   : {p99} us vs ceiling {ceiling:.0} ({factor} x recorded {recorded:.0})"
+            );
+            if (p99 as f64) > ceiling {
+                eprintln!("br-load bench: p99 latency regression (above {factor} x recorded)");
+                return ExitCode::FAILURE;
+            }
         }
     }
     ExitCode::SUCCESS

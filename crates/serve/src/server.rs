@@ -64,6 +64,10 @@ pub struct ServeConfig {
     pub chaos: bool,
     /// Run br-verify stage gates during compilation.
     pub verify: bool,
+    /// Emulator execution tier for request runs. Measurements are
+    /// byte-identical across tiers; `Traced` is the fast choice for a
+    /// server that replays hot workloads.
+    pub tier: br_emu::ExecTier,
 }
 
 impl Default for ServeConfig {
@@ -80,6 +84,7 @@ impl Default for ServeConfig {
             cache_dir: None,
             chaos: false,
             verify: false,
+            tier: br_emu::ExecTier::default(),
         }
     }
 }
@@ -544,7 +549,7 @@ fn run_spec(shared: &Shared, spec: &RunSpec) -> Result<Vec<MachineReply>, Error>
             (Arc::new(compiled), Origin::Compiled)
         };
         let (prog, stats) = &*artifact;
-        let mut emu = br_emu::Emulator::new(prog);
+        let mut emu = br_emu::Emulator::new(prog).with_tier(cfg.tier);
         let exit = emu.run(fuel)?;
         replies.push(MachineReply {
             target: target_for(machine),

@@ -24,8 +24,9 @@ pub mod oracle;
 pub use gen::{generate, render, GenConfig, TortureAst};
 pub use minimize::{count_stmts, minimize};
 pub use oracle::{
-    check_module, check_module_budgeted, check_module_tv, check_module_with, check_src,
-    check_src_budgeted, check_src_tv, check_src_with, Agreement, Divergence, DEFAULT_FUEL,
+    check_module, check_module_budgeted, check_module_tiers, check_module_tv, check_module_with,
+    check_src, check_src_budgeted, check_src_tiers, check_src_tv, check_src_with, check_tiers,
+    Agreement, Divergence, DEFAULT_FUEL,
 };
 
 /// Derive the seed for iteration `i` of a run started with `seed`.

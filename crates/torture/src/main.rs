@@ -5,6 +5,7 @@
 //! br-torture ... --jobs J                      fan iterations across J threads
 //! br-torture ... --verify                      also gate every stage with br-verify
 //! br-torture ... --tv                          also cross-check the static translation validator
+//! br-torture ... --tiers                       also cross-check the threaded/traced execution tiers
 //! br-torture --demo-fault                      fault-injection demo
 //! br-torture --demo-miscompile                 wrong-code-catch demo
 //! ```
@@ -29,6 +30,10 @@ struct Args {
     /// Run the static translation validator as a third oracle against
     /// the dynamic differential result on every iteration.
     tv: bool,
+    /// Cross-check the threaded and traced execution tiers against the
+    /// interpreter on every iteration (exit, measurements, stores,
+    /// errors must all be identical).
+    tiers: bool,
     /// Per-case wall budget in milliseconds; 0 = unlimited.
     budget_ms: u64,
     demo_fault: bool,
@@ -43,6 +48,7 @@ fn parse_args() -> Result<Args, String> {
         jobs: 1,
         verify: false,
         tv: false,
+        tiers: false,
         budget_ms: 0,
         demo_fault: false,
         demo_miscompile: false,
@@ -65,12 +71,13 @@ fn parse_args() -> Result<Args, String> {
             "--jobs" => args.jobs = num("--jobs")? as usize,
             "--verify" => args.verify = true,
             "--tv" => args.tv = true,
+            "--tiers" => args.tiers = true,
             "--budget-ms" => args.budget_ms = num("--budget-ms")?,
             "--demo-fault" => args.demo_fault = true,
             "--demo-miscompile" => args.demo_miscompile = true,
             "--help" | "-h" => {
                 return Err("usage: br-torture [--seed N] [--iters M] [--fuel F] \
-                            [--jobs J] [--verify] [--tv] [--budget-ms MS] \
+                            [--jobs J] [--verify] [--tv] [--tiers] [--budget-ms MS] \
                             [--demo-fault] [--demo-miscompile]"
                     .into())
             }
@@ -101,13 +108,18 @@ fn main() {
 // ------------------------------------------------------------------ fuzz
 
 /// One case through the configured oracle stack: dynamic differential
-/// always, plus the static translation validator in `--tv` mode.
+/// always, plus the static translation validator in `--tv` mode, plus
+/// the execution-tier cross-check in `--tiers` mode.
 fn check_case(args: &Args, src: &str, budget_ms: Option<u64>) -> Result<Agreement, Divergence> {
-    if args.tv {
-        check_src_tv(src, args.fuel, args.verify, budget_ms)
+    let a = if args.tv {
+        check_src_tv(src, args.fuel, args.verify, budget_ms)?
     } else {
-        check_src_budgeted(src, args.fuel, args.verify, budget_ms)
+        check_src_budgeted(src, args.fuel, args.verify, budget_ms)?
+    };
+    if args.tiers {
+        br_torture::check_src_tiers(src, args.fuel)?;
     }
+    Ok(a)
 }
 
 fn fuzz(args: &Args) -> i32 {

@@ -89,6 +89,17 @@ pub enum Divergence {
         /// proof contradicts.
         detail: String,
     },
+    /// An execution tier disagreed with the interpreter on the same
+    /// program (`--tiers` mode): different exit value, measurements,
+    /// global-store stream, or error. Always a real emulator bug — the
+    /// tiers are defined to be observationally identical.
+    TierMismatch {
+        machine: Machine,
+        /// Name of the disagreeing tier (`threaded` / `traced`).
+        tier: &'static str,
+        /// What differed, rendered human-readable.
+        detail: String,
+    },
     /// The per-case wall-clock budget expired (see
     /// [`check_module_budgeted`]). A recorded timeout, not a
     /// correctness verdict: the program may be pathological for the
@@ -155,6 +166,11 @@ impl std::fmt::Display for Divergence {
                     )
                 }
             }
+            Divergence::TierMismatch {
+                machine,
+                tier,
+                detail,
+            } => write!(f, "tier `{tier}` diverged from interpreter ({machine}): {detail}"),
             Divergence::Budget {
                 stage,
                 elapsed_ms,
@@ -552,6 +568,95 @@ pub fn check_src_tv(
     check_module_tv(&module, fuel, verify, budget_ms)
 }
 
+/// One tier's observable outcome on a single program, for comparison.
+struct TierRun {
+    result: Result<i32, EmuError>,
+    meas: br_emu::Measurements,
+    global_stores: Vec<(u32, i32)>,
+}
+
+fn run_tier(prog: &Program, fuel: u64, tier: br_emu::ExecTier, hi: u32) -> TierRun {
+    let mut emu = Emulator::new(prog).with_tier(tier);
+    let mut hook = GlobalStores {
+        lo: abi::DATA_BASE,
+        hi,
+        stores: Vec::new(),
+    };
+    let result = emu.run_with_hook(fuel, &mut hook);
+    TierRun {
+        result,
+        meas: emu.measurements().clone(),
+        global_stores: hook.stores,
+    }
+}
+
+/// Differential check of the execution tiers themselves: runs `prog`
+/// once per [`br_emu::ExecTier`] and demands the threaded and traced
+/// tiers reproduce the interpreter's exit value (or its exact typed
+/// error), its [`br_emu::Measurements`], and its ordered global-store
+/// stream. Unlike the three-way machine oracle, this needs no IR
+/// reference — the interpreter tier *is* the reference.
+pub fn check_tiers(module: &Module, prog: &Program, fuel: u64) -> Result<(), Divergence> {
+    let machine = prog.machine;
+    let hi = globals_end(module, prog);
+    let reference = run_tier(prog, fuel, br_emu::ExecTier::Interp, hi);
+    for tier in [br_emu::ExecTier::Threaded, br_emu::ExecTier::Traced] {
+        let got = run_tier(prog, fuel, tier, hi);
+        let detail = match (&reference.result, &got.result) {
+            (Ok(a), Ok(b)) if a != b => Some(format!("exit {a} vs {b}")),
+            (Err(a), Err(b)) if a != b => Some(format!("error `{a}` vs `{b}`")),
+            (Ok(a), Err(b)) => Some(format!("interpreter exited {a}, tier failed: {b}")),
+            (Err(a), Ok(b)) => Some(format!("interpreter failed ({a}), tier exited {b}")),
+            _ => None,
+        };
+        let detail = detail.or_else(|| {
+            if reference.meas != got.meas {
+                Some(format!(
+                    "measurements differ (instructions {} vs {}, transfers {} vs {})",
+                    reference.meas.instructions,
+                    got.meas.instructions,
+                    reference.meas.transfers,
+                    got.meas.transfers
+                ))
+            } else if reference.global_stores != got.global_stores {
+                let pos = reference
+                    .global_stores
+                    .iter()
+                    .zip(&got.global_stores)
+                    .position(|(a, b)| a != b)
+                    .unwrap_or(reference.global_stores.len().min(got.global_stores.len()));
+                Some(format!("global-store stream diverges at #{pos}"))
+            } else {
+                None
+            }
+        });
+        if let Some(detail) = detail {
+            return Err(Divergence::TierMismatch {
+                machine,
+                tier: tier.name(),
+                detail,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// `--tiers` oracle entry point: compile one module for both machines
+/// and run [`check_tiers`] on each binary.
+pub fn check_module_tiers(module: &Module, fuel: u64) -> Result<(), Divergence> {
+    for machine in [Machine::Baseline, Machine::BranchReg] {
+        let prog = compile_for(module, machine)?;
+        check_tiers(module, &prog, fuel)?;
+    }
+    Ok(())
+}
+
+/// [`check_module_tiers`] from source text.
+pub fn check_src_tiers(src: &str, fuel: u64) -> Result<(), Divergence> {
+    let module = br_frontend::compile(src).map_err(|e| Divergence::Frontend(e.to_string()))?;
+    check_module_tiers(&module, fuel)
+}
+
 /// Sabotage an assembled branch-register program by negating the
 /// condition of its first compare-and-branch. Returns `false` if the
 /// program contains none. Used by the `--demo-miscompile` mode (and its
@@ -678,6 +783,14 @@ mod tests {
                 },
                 "120 ms elapsed (limit 100 ms) entering baseline compile",
             ),
+            (
+                Divergence::TierMismatch {
+                    machine: Machine::BranchReg,
+                    tier: "traced",
+                    detail: "exit 3 vs 4".into(),
+                },
+                "tier `traced` diverged from interpreter (branch register): exit 3 vs 4",
+            ),
         ];
         for (d, want) in cases {
             let s = d.to_string();
@@ -705,6 +818,30 @@ mod tests {
         let a = check_src(src, DEFAULT_FUEL).expect("oracle should agree");
         assert_eq!(a.exit, 15);
         assert_eq!(a.global_stores, 5);
+    }
+
+    #[test]
+    fn tiers_agree_on_a_looping_program() {
+        // Hot enough (10 × 16+ iterations) that the traced tier forms
+        // and executes real superblocks on both machines.
+        let src = "
+            int g;
+            int main() {
+                int s = 0;
+                for (int i = 0; i < 200; i++) { s = s + i; g = s; }
+                return s % 97;
+            }
+        ";
+        check_src_tiers(src, DEFAULT_FUEL).expect("tiers must agree");
+    }
+
+    #[test]
+    fn tiers_agree_on_errors_too() {
+        // Fuel exhaustion mid-loop must produce the identical typed
+        // error and identical measurements on every tier.
+        let src = "int main() { int s = 0; while (1) { s = s + 1; } return s; }";
+        let module = br_frontend::compile(src).unwrap();
+        check_module_tiers(&module, 50_000).expect("tiers must agree on OutOfFuel");
     }
 
     #[test]

@@ -4,7 +4,10 @@
 # build, the lint gate, the full test suite, a 200-iteration
 # differential fuzz run (interpreter vs baseline machine vs
 # branch-register machine, with the br-verify stage gates and the
-# static translation-validation oracle enabled), the ISA-coverage gate
+# static translation-validation oracle enabled), a 500-seed
+# execution-tier differential (interp vs threaded vs traced must be
+# observationally identical), the per-tier emulator perf gate, the
+# ISA-coverage gate
 # (br-prof --check-coverage), the br-tv translation-validation +
 # static-cost gate, and the byte-identical golden regeneration all
 # passed. See TORTURE.md for what the torture harness checks,
@@ -36,8 +39,12 @@ cargo run --release -p br-torture -- --seed 42 --iters 200 --verify --tv --jobs 
 echo "==> fault-injection demo (typed errors, no panics)"
 cargo run --release -p br-torture -- --demo-fault
 
-echo "==> emulator perf bench (test scale; JSON kept out of the tree)"
-cargo run --release -p br-bench --bin perf -- --reps 2 --out target/BENCH_emulator_ci.json
+echo "==> execution-tier differential smoke (500 seeds: interp vs threaded vs traced)"
+cargo run --release -p br-torture -- --seed 7 --iters 500 --tiers --jobs 4 --budget-ms 60000
+
+echo "==> emulator perf bench + per-tier regression gate (fail below 0.5x recorded)"
+cargo run --release -p br-bench --bin perf -- --reps 2 --out target/BENCH_emulator_ci.json \
+    --baseline BENCH_emulator.json --check 0.5
 
 echo "==> compile-throughput bench + regression gate (fail below 0.8x baseline)"
 cargo run --release -p br-bench --bin perf -- compile --paper --reps 3 \
@@ -70,9 +77,10 @@ serve_addr="$(cat "$port_file")"
 ./target/release/br-load --addr "$serve_addr" --shutdown
 wait "$serve_pid"
 
-echo "==> br-serve bench + regression gate (fail below 0.3x recorded throughput)"
+echo "==> br-serve bench + regression gates (fail below 0.3x recorded throughput or above 10x recorded p99)"
 cargo run --release -p br-serve --bin br-load -- --bench --requests 200 --threads 4 \
-    --out target/BENCH_serve_ci.json --record current --check 0.3
+    --out target/BENCH_serve_ci.json --record current \
+    --baseline BENCH_serve.json --check 0.3 --check-p99 10
 
 echo "==> results goldens (txt + profile JSON) regenerate byte-identical"
 regen_dir="target/results_regen"

@@ -9,7 +9,7 @@
 //! pipeline rather than hand-assembled stubs.
 
 use br_core::{Experiment, Machine};
-use br_emu::{Emulator, EmuError, Fault, Measurements};
+use br_emu::{Emulator, EmuError, ExecTier, Fault, Measurements, TraceHook};
 use br_isa::Program;
 
 const FUEL: u64 = 100_000_000;
@@ -136,6 +136,93 @@ fn corrupt_inst_fires_at_step_zero_and_late() {
                 },
             );
         }
+    }
+}
+
+/// Fault injection is *tier-invariant*: arming any fault routes the run
+/// to the instrumented interpreter no matter which [`ExecTier`] was
+/// requested (the threaded and traced tiers never see faulted state).
+/// Every [`Fault`] variant × hook shape × tier combination must
+/// therefore reproduce the interpreter reference bit for bit — the same
+/// exit and [`Measurements`] on success, the same typed [`EmuError`] on
+/// failure, and under a hook the same event streams.
+#[test]
+fn faults_are_tier_invariant_across_hook_shapes() {
+    for machine in [Machine::Baseline, Machine::BranchReg] {
+        let prog = compile(machine);
+        let (_, meas) = clean_run(&prog);
+        let late = meas.instructions / 2;
+
+        // Every variant, firing early, firing late, and (for the
+        // armed-but-parked instrumented path) never firing at all.
+        let faults = [
+            Fault::CorruptReg { at_step: 0, reg: 1, xor_mask: 0 },
+            Fault::CorruptReg { at_step: late, reg: 3, xor_mask: 0x5555_0000 },
+            Fault::CorruptReg { at_step: u64::MAX, reg: 1, xor_mask: -1 },
+            Fault::CorruptInst { at_step: 0, xor_mask: 0 },
+            Fault::CorruptInst { at_step: late, xor_mask: u32::MAX },
+            Fault::FailMem { at_step: 0 },
+            Fault::FailMem { at_step: late },
+        ];
+
+        for fault in faults {
+            // Interpreter reference, hook-free and hooked.
+            let reference = run_armed_tiered(&prog, fault, ExecTier::Interp, None);
+            let mut ref_hook = TraceHook::default();
+            let ref_hooked = run_armed_tiered(&prog, fault, ExecTier::Interp, Some(&mut ref_hook));
+            assert_eq!(
+                reference, ref_hooked,
+                "{fault:?} hooked interp diverges on {machine}"
+            );
+
+            for tier in ExecTier::ALL {
+                let bare = run_armed_tiered(&prog, fault, tier, None);
+                assert_eq!(
+                    reference, bare,
+                    "{fault:?} hook-free under {tier} on {machine}"
+                );
+
+                let mut hook = TraceHook::default();
+                let hooked = run_armed_tiered(&prog, fault, tier, Some(&mut hook));
+                assert_eq!(
+                    reference, hooked,
+                    "{fault:?} hooked under {tier} on {machine}"
+                );
+                assert_eq!(
+                    ref_hook.fetches, hook.fetches,
+                    "{fault:?} fetch stream under {tier} on {machine}"
+                );
+                assert_eq!(
+                    ref_hook.retires, hook.retires,
+                    "{fault:?} retire stream under {tier} on {machine}"
+                );
+                assert_eq!(
+                    ref_hook.stores, hook.stores,
+                    "{fault:?} store stream under {tier} on {machine}"
+                );
+            }
+        }
+    }
+}
+
+/// One armed run on a chosen tier, hook-free or under a [`TraceHook`];
+/// panics on an out-of-fuel wedge like [`run_armed`].
+fn run_armed_tiered(
+    prog: &Program,
+    fault: Fault,
+    tier: ExecTier,
+    hook: Option<&mut TraceHook>,
+) -> Result<(i32, Measurements), EmuError> {
+    let mut emu = Emulator::new(prog).with_tier(tier);
+    emu.inject(fault);
+    let res = match hook {
+        Some(h) => emu.run_with_hook(FUEL, h),
+        None => emu.run(FUEL),
+    };
+    match res {
+        Ok(exit) => Ok((exit, emu.measurements().clone())),
+        Err(EmuError::OutOfFuel) => panic!("armed {fault:?} wedged the emulator on {tier}"),
+        Err(e) => Err(e),
     }
 }
 
