@@ -1,0 +1,977 @@
+//! `br-explore` — record-once / replay-many design-space exploration
+//! (ROADMAP item 3): what if Davidson–Whalley had 4 branch registers,
+//! a direct-mapped cache, or a 6-stage pipeline?
+//!
+//! ```text
+//! br-explore            [--paper] [--jobs N] [--tier T] [--pareto FILE]
+//! br-explore --section9 [--paper] [--jobs N] [--tier T]
+//! br-explore --bench    [--paper] [--jobs N] [--out FILE] [--record seed|current]
+//!                       [--check RATIO]
+//! br-explore --smoke    [--jobs N]
+//! ```
+//!
+//! The **default mode** sweeps the full parameter matrix — branch
+//! register file size (2/4/6/8; the ISA's 3-bit `br` field caps the
+//! file at 8, so the paper's hypothetical 16 is unencodable) × icache
+//! geometry (sets/associativity/line size/prefetch policy) × pipeline
+//! depth 2–8 — and prints the Pareto frontier of total cycles vs
+//! hardware cost. `--pareto FILE` writes the full deterministic report
+//! (golden: `results/explore_pareto.json`).
+//!
+//! Instead of one emulation per configuration, each compiler
+//! configuration is executed **once** under a `FetchRecorder`
+//! (`br_emu::FetchTrace`, any execution tier); every cache geometry is
+//! then evaluated by `br_icache::replay` over the packed trace and
+//! every pipeline depth by `br_pipeline::depth_sweep` over the recorded
+//! measurements — byte-identical to live-hook runs (pinned by
+//! `crates/torture/tests/replay_properties.rs` and re-checked here by
+//! `--smoke`/`--bench`). Compiled artifacts are shared between
+//! configurations with identical compiler settings through a
+//! content-hash keyed store (the br-serve cache's keying discipline).
+//!
+//! `--section9` reproduces the legacy `results/br_sweep.txt` report
+//! (experiment E10) from the same machinery. `--bench` times the naive
+//! N-live-hook-emulations baseline against record+replay on a
+//! 28-geometry matrix, verifies the stats are identical, and maintains
+//! the `BENCH_explore.json` tracker (`--check` gates the speedup).
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+use std::rc::Rc;
+use std::time::Instant;
+
+use br_bench::{extract_object, human, pct, scan_number};
+use br_core::{
+    parallel, replay, suite, BrOptions, CacheConfig, CacheStats, Experiment, Machine, Program,
+    Scale,
+};
+use br_emu::{Emulator, ExecTier, FetchTrace, Measurements};
+use br_icache::ICacheSim;
+use br_obs::json;
+use br_pipeline::machine_cycles;
+
+const DEPTHS: std::ops::RangeInclusive<u32> = 2..=8;
+
+/// Branch-register file sizes swept by the default matrix. The ISA
+/// encodes branch registers in a 3-bit field, so 8 is the hard ceiling
+/// (`BrOptions::pools` clamps to 2..=8); the issue's "16" point is not
+/// encodable without a different instruction format.
+const SWEEP_BREGS: [u8; 4] = [2, 4, 6, 8];
+
+/// A cache geometry axis point (timing and queue depth come from
+/// [`CacheConfig::for_bregs`]).
+struct Geom {
+    label: &'static str,
+    sets: usize,
+    assoc: usize,
+    line_words: usize,
+    prefetch: bool,
+}
+
+/// The default sweep's six geometries: the paper's 2 KiB 2-way point,
+/// same-capacity associativity trades, a capacity step in each
+/// direction, and a prefetch ablation.
+const SWEEP_GEOMS: [Geom; 6] = [
+    Geom { label: "2KiB 2-way 16B (paper)", sets: 64, assoc: 2, line_words: 4, prefetch: true },
+    Geom { label: "2KiB direct 16B", sets: 128, assoc: 1, line_words: 4, prefetch: true },
+    Geom { label: "2KiB 4-way 16B", sets: 32, assoc: 4, line_words: 4, prefetch: true },
+    Geom { label: "4KiB 2-way 32B", sets: 64, assoc: 2, line_words: 8, prefetch: true },
+    Geom { label: "512B 2-way 16B", sets: 16, assoc: 2, line_words: 4, prefetch: true },
+    Geom { label: "2KiB 2-way 16B no-prefetch", sets: 64, assoc: 2, line_words: 4, prefetch: false },
+];
+
+fn geom_cfg(g: &Geom, bregs: u8) -> CacheConfig {
+    CacheConfig {
+        sets: g.sets,
+        assoc: g.assoc,
+        line_words: g.line_words,
+        prefetch: g.prefetch,
+        ..CacheConfig::for_bregs(bregs as usize)
+    }
+}
+
+/// The `--bench`/`--smoke` geometry matrix: 24 enabled-prefetch
+/// geometries (4 set counts × 3 associativities × 2 line sizes) plus 4
+/// prefetch-off points — 28 cache configurations per full run.
+fn bench_geoms(smoke: bool) -> Vec<(String, CacheConfig)> {
+    let mut v = Vec::new();
+    for &sets in &[16usize, 32, 64, 128] {
+        for &assoc in &[1usize, 2, 4] {
+            for &line_words in &[4usize, 8] {
+                v.push((
+                    format!("{sets}x{assoc}x{line_words}w"),
+                    CacheConfig {
+                        sets,
+                        assoc,
+                        line_words,
+                        ..CacheConfig::for_bregs(8)
+                    },
+                ));
+            }
+        }
+    }
+    for &(sets, assoc, line_words) in &[(64, 2, 4), (128, 1, 4), (32, 4, 8), (64, 2, 8)] {
+        v.push((
+            format!("{sets}x{assoc}x{line_words}w-nopf"),
+            CacheConfig {
+                sets,
+                assoc,
+                line_words,
+                prefetch: false,
+                ..CacheConfig::for_bregs(8)
+            },
+        ));
+    }
+    if smoke {
+        v.truncate(6);
+    }
+    v
+}
+
+struct Args {
+    scale: Scale,
+    jobs: usize,
+    tier: ExecTier,
+    section9: bool,
+    bench: bool,
+    smoke: bool,
+    pareto: Option<String>,
+    out: Option<String>,
+    record: String,
+    check: Option<f64>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        scale: Scale::Test,
+        jobs: 0,
+        tier: ExecTier::Traced,
+        section9: false,
+        bench: false,
+        smoke: false,
+        pareto: None,
+        out: None,
+        record: "current".into(),
+        check: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--paper" => args.scale = Scale::Paper,
+            "--jobs" => {
+                args.jobs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--jobs needs a number")?
+            }
+            "--tier" => {
+                let name = it.next().ok_or("--tier needs interp|threaded|traced")?;
+                args.tier = ExecTier::from_name(&name)
+                    .ok_or_else(|| format!("unknown tier `{name}`"))?;
+            }
+            "--section9" => args.section9 = true,
+            "--bench" => args.bench = true,
+            "--smoke" => args.smoke = true,
+            "--pareto" => args.pareto = Some(it.next().ok_or("--pareto needs a path")?),
+            "--out" => args.out = Some(it.next().ok_or("--out needs a path")?),
+            "--record" => args.record = it.next().ok_or("--record needs seed|current")?,
+            "--check" => {
+                args.check = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--check needs a ratio")?,
+                )
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+/// The Appendix I suite lowered once (the front end is
+/// machine-independent), plus a content hash over the module set.
+struct Suite {
+    names: Vec<&'static str>,
+    modules: Vec<br_ir::Module>,
+    content_fp: u64,
+}
+
+/// splitmix64 finalizer — the same mixing the br-serve compile cache
+/// uses for its content-hash keys.
+fn mix(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+fn lower_suite(scale: Scale) -> Result<Suite, String> {
+    let mut names = Vec::new();
+    let mut modules = Vec::new();
+    let mut content_fp = 0u64;
+    for (i, w) in suite(scale).into_iter().enumerate() {
+        let module =
+            br_frontend::compile(&w.source).map_err(|e| format!("{}: frontend: {e}", w.name))?;
+        content_fp ^= mix(module.fingerprint().wrapping_add(i as u64));
+        names.push(w.name);
+        modules.push(module);
+    }
+    Ok(Suite {
+        names,
+        modules,
+        content_fp,
+    })
+}
+
+/// Compiled-artifact store keyed by content hash: machine ⊕ option
+/// fingerprints ⊕ the suite's module fingerprints. Sweep configurations
+/// that share compiler settings share one compile (the Section 9
+/// ablation list and the breg sweep overlap at the paper
+/// configuration, and `--bench` shares everything between its two
+/// passes).
+#[derive(Default)]
+struct ArtifactStore {
+    map: HashMap<u64, Rc<Vec<Program>>>,
+    compiles: u64,
+    hits: u64,
+}
+
+impl ArtifactStore {
+    fn key(exp: &Experiment, machine: Machine, su: &Suite) -> u64 {
+        let tag = match machine {
+            Machine::Baseline => 1,
+            Machine::BranchReg => 2,
+        };
+        mix(tag ^ mix(exp.base_opts.fingerprint() ^ mix(exp.br_opts.fingerprint())))
+            ^ su.content_fp
+    }
+
+    fn progs(
+        &mut self,
+        exp: &Experiment,
+        machine: Machine,
+        su: &Suite,
+        jobs: usize,
+    ) -> Result<Rc<Vec<Program>>, String> {
+        let key = Self::key(exp, machine, su);
+        if let Some(p) = self.map.get(&key) {
+            self.hits += 1;
+            return Ok(p.clone());
+        }
+        let idx: Vec<usize> = (0..su.modules.len()).collect();
+        let compiled = parallel::map_ordered(&idx, jobs, |_, &i| {
+            exp.compile_module_for(&su.modules[i], machine)
+                .map(|(prog, _)| prog)
+                .map_err(|e| format!("{} on {machine}: {e}", su.names[i]))
+        });
+        let mut progs = Vec::with_capacity(compiled.len());
+        for p in compiled {
+            progs.push(p?);
+        }
+        let progs = Rc::new(progs);
+        self.map.insert(key, progs.clone());
+        self.compiles += 1;
+        Ok(progs)
+    }
+}
+
+/// Suite totals from one record pass replayed through `cfgs`.
+struct ReplayOutcome {
+    meas: Measurements,
+    per_geom: Vec<CacheStats>,
+    trace_words: u64,
+}
+
+/// Record each program once on `tier`, replay its trace through every
+/// geometry, and fold suite totals in suite order.
+fn record_replay(
+    progs: &[Program],
+    names: &[&'static str],
+    cfgs: &[CacheConfig],
+    fuel: u64,
+    tier: ExecTier,
+    jobs: usize,
+) -> Result<ReplayOutcome, String> {
+    let idx: Vec<usize> = (0..progs.len()).collect();
+    let rows = parallel::map_ordered(&idx, jobs, |_, &i| {
+        let (_, trace) =
+            FetchTrace::record(&progs[i], fuel, tier).map_err(|e| format!("{}: {e}", names[i]))?;
+        let stats = cfgs
+            .iter()
+            .map(|c| replay(*c, &trace).map_err(|e| format!("{}: {e}", names[i])))
+            .collect::<Result<Vec<CacheStats>, String>>()?;
+        Ok::<_, String>((trace.measurements().clone(), stats, trace.packed_len() as u64))
+    });
+    let mut out = ReplayOutcome {
+        meas: Measurements::new(),
+        per_geom: vec![CacheStats::default(); cfgs.len()],
+        trace_words: 0,
+    };
+    for row in rows {
+        let (m, stats, words) = row?;
+        out.meas.accumulate(&m);
+        for (acc, s) in out.per_geom.iter_mut().zip(&stats) {
+            acc.accumulate(s);
+        }
+        out.trace_words += words;
+    }
+    Ok(out)
+}
+
+/// The naive baseline: one full live-hook emulation of the suite for a
+/// single cache configuration (what `Experiment::run_with_cache` does
+/// today, on its default interpreted tier).
+fn live_suite(
+    progs: &[Program],
+    names: &[&'static str],
+    cfg: CacheConfig,
+    fuel: u64,
+    tier: ExecTier,
+    jobs: usize,
+) -> Result<(Measurements, CacheStats), String> {
+    let idx: Vec<usize> = (0..progs.len()).collect();
+    let rows = parallel::map_ordered(&idx, jobs, |_, &i| {
+        let mut sim = ICacheSim::new(cfg);
+        let mut emu = Emulator::new(&progs[i]).with_tier(tier);
+        emu.run_with_hook(fuel, &mut sim)
+            .map_err(|e| format!("{}: {e}", names[i]))?;
+        Ok::<_, String>((emu.measurements().clone(), *sim.stats()))
+    });
+    let mut meas = Measurements::new();
+    let mut stats = CacheStats::default();
+    for row in rows {
+        let (m, s) = row?;
+        meas.accumulate(&m);
+        stats.accumulate(&s);
+    }
+    Ok((meas, stats))
+}
+
+/// Plain functional suite totals (instructions, data refs) — the
+/// Section 9 report's quantities.
+fn suite_insts_refs(
+    progs: &[Program],
+    names: &[&'static str],
+    fuel: u64,
+    tier: ExecTier,
+    jobs: usize,
+) -> Result<(u64, u64), String> {
+    let idx: Vec<usize> = (0..progs.len()).collect();
+    let rows = parallel::map_ordered(&idx, jobs, |_, &i| {
+        let mut emu = Emulator::new(&progs[i]).with_tier(tier);
+        emu.run(fuel).map_err(|e| format!("{}: {e}", names[i]))?;
+        let m = emu.measurements();
+        Ok::<_, String>((m.instructions, m.data_refs))
+    });
+    let mut insts = 0u64;
+    let mut refs = 0u64;
+    for row in rows {
+        let (i, r) = row?;
+        insts += i;
+        refs += r;
+    }
+    Ok((insts, refs))
+}
+
+/// Hardware-cost model for the Pareto axis, in storage bits: cache
+/// arrays (data + tag + valid + prefetched-state per line), the branch
+/// register file (32-bit address registers), the prefetch queue (one
+/// 32-bit address slot per entry, absent with prefetch off), and one
+/// 64-bit latch set per pipeline stage. Deliberately simple and fully
+/// deterministic — it ranks configurations, it does not price silicon.
+fn cost_bits(cfg: &CacheConfig, bregs: u32, stages: u32) -> u64 {
+    let lines = (cfg.sets * cfg.assoc) as u64;
+    let tag_bits =
+        32 - u64::from((cfg.sets.trailing_zeros()) + (cfg.line_words.trailing_zeros()) + 2);
+    let cache = lines * (cfg.line_words as u64 * 32 + tag_bits + 2);
+    let queue = if cfg.prefetch {
+        cfg.prefetch_queue as u64 * 32
+    } else {
+        0
+    };
+    cache + u64::from(bregs) * 32 + queue + u64::from(stages) * 64
+}
+
+/// One fully-expanded design point of the BR machine.
+struct Point {
+    bregs: u8,
+    geom: usize,
+    stages: u32,
+    instructions: u64,
+    transfer_stalls: u64,
+    prefetch_stalls: u64,
+    cache_stalls: u64,
+    total: u64,
+    cost: u64,
+    pareto: bool,
+}
+
+fn mark_pareto(points: &mut [Point]) {
+    for i in 0..points.len() {
+        let dominated = points.iter().any(|q| {
+            q.total <= points[i].total
+                && q.cost <= points[i].cost
+                && (q.total < points[i].total || q.cost < points[i].cost)
+        });
+        points[i].pareto = !dominated;
+    }
+}
+
+// ---------------------------------------------------------------------
+// default mode: the full matrix sweep + Pareto report
+// ---------------------------------------------------------------------
+
+fn run_sweep(args: &Args) -> Result<bool, String> {
+    let t0 = Instant::now();
+    let su = lower_suite(args.scale)?;
+    let mut store = ArtifactStore::default();
+
+    // Baseline machine reference: one recording, replayed through the
+    // same geometries (its trace carries no prefetch events).
+    let base_exp = Experiment {
+        tier: args.tier,
+        ..Experiment::new()
+    };
+    let base_progs = store.progs(&base_exp, Machine::Baseline, &su, args.jobs)?;
+    let base_cfgs: Vec<CacheConfig> = SWEEP_GEOMS.iter().map(|g| geom_cfg(g, 8)).collect();
+    let base = record_replay(
+        &base_progs,
+        &su.names,
+        &base_cfgs,
+        base_exp.fuel,
+        args.tier,
+        args.jobs,
+    )?;
+
+    // BR machine: one recording per register-file size.
+    let mut outs: Vec<(u8, ReplayOutcome)> = Vec::new();
+    for &n in &SWEEP_BREGS {
+        let exp = Experiment {
+            br_opts: BrOptions {
+                num_bregs: n,
+                ..Default::default()
+            },
+            tier: args.tier,
+            ..Experiment::new()
+        };
+        let progs = store.progs(&exp, Machine::BranchReg, &su, args.jobs)?;
+        let cfgs: Vec<CacheConfig> = SWEEP_GEOMS.iter().map(|g| geom_cfg(g, n)).collect();
+        outs.push((
+            n,
+            record_replay(&progs, &su.names, &cfgs, exp.fuel, args.tier, args.jobs)?,
+        ));
+    }
+
+    // Expand to points: pipeline estimate + cache fetch stalls. The
+    // pipeline model already charges one cycle per instruction (and the
+    // cache's base cycle per fetch is exactly one per instruction), so
+    // the combined total adds only the cache's *stall* cycles.
+    let mut points = Vec::new();
+    for (n, out) in &outs {
+        for (g, stats) in out.per_geom.iter().enumerate() {
+            let cfg = geom_cfg(&SWEEP_GEOMS[g], *n);
+            for stages in DEPTHS {
+                let est = machine_cycles(Machine::BranchReg, &out.meas, stages);
+                points.push(Point {
+                    bregs: *n,
+                    geom: g,
+                    stages,
+                    instructions: est.instructions,
+                    transfer_stalls: est.transfer_stalls,
+                    prefetch_stalls: est.prefetch_stalls,
+                    cache_stalls: stats.stall_cycles,
+                    total: est.total + stats.stall_cycles,
+                    cost: cost_bits(&cfg, u32::from(*n), stages),
+                    pareto: false,
+                });
+            }
+        }
+    }
+    mark_pareto(&mut points);
+    let frontier = points.iter().filter(|p| p.pareto).count();
+
+    println!("br-explore design-space sweep ({:?} scale)", args.scale);
+    println!(
+        "matrix: {} breg sizes x {} cache geometries x {} depths = {} points",
+        SWEEP_BREGS.len(),
+        SWEEP_GEOMS.len(),
+        DEPTHS.count(),
+        points.len()
+    );
+    println!(
+        "suite: {} programs; compiles: {} (artifact-store hits: {}); recorded {} trace words",
+        su.names.len(),
+        store.compiles,
+        store.hits,
+        human(points_trace_words(&outs) + base.trace_words),
+    );
+    println!();
+    println!(
+        "{:>6} {:<28} {:>6} {:>16} {:>14}",
+        "bregs", "geometry", "depth", "cycles", "cost-bits"
+    );
+    for p in points.iter().filter(|p| p.pareto) {
+        println!(
+            "{:>6} {:<28} {:>6} {:>16} {:>14}",
+            p.bregs,
+            SWEEP_GEOMS[p.geom].label,
+            p.stages,
+            human(p.total),
+            human(p.cost)
+        );
+    }
+    println!();
+    println!(
+        "pareto frontier: {} of {} points ({:.1}s)",
+        frontier,
+        points.len(),
+        t0.elapsed().as_secs_f64()
+    );
+
+    if let Some(path) = &args.pareto {
+        let json = pareto_json(args.scale, &su, &base, &base_cfgs, &outs, &points);
+        std::fs::write(path, json).map_err(|e| format!("write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(true)
+}
+
+fn points_trace_words(outs: &[(u8, ReplayOutcome)]) -> u64 {
+    outs.iter().map(|(_, o)| o.trace_words).sum()
+}
+
+fn pareto_json(
+    scale: Scale,
+    su: &Suite,
+    base: &ReplayOutcome,
+    base_cfgs: &[CacheConfig],
+    outs: &[(u8, ReplayOutcome)],
+    points: &[Point],
+) -> String {
+    let mut w = json::Writer::new();
+    w.open_obj();
+    w.field_str("schema", "br-explore-pareto-v1");
+    w.field_str("scale", &format!("{scale:?}"));
+    w.field_u64("suite_programs", su.names.len() as u64);
+    w.field_str(
+        "cost_model",
+        "bits: cache lines*(data+tag+valid+prefetched) + 32*bregs + 32*prefetch_queue (prefetch on) + 64*stages",
+    );
+    w.field_str(
+        "cycle_model",
+        "br_pipeline::machine_cycles(meas, stages).total + icache stall_cycles",
+    );
+    w.key("depths");
+    w.u64_array(&DEPTHS.map(u64::from).collect::<Vec<u64>>());
+    w.key("geometries");
+    w.open_arr();
+    for (g, cfg) in SWEEP_GEOMS.iter().zip(base_cfgs) {
+        w.open_obj();
+        w.field_str("label", g.label);
+        w.field_u64("sets", g.sets as u64);
+        w.field_u64("assoc", g.assoc as u64);
+        w.field_u64("line_words", g.line_words as u64);
+        w.field_u64("prefetch", u64::from(g.prefetch));
+        w.field_u64("capacity_bytes", cfg.capacity() as u64);
+        w.close_obj();
+    }
+    w.close_arr();
+    // Baseline machine reference: no branch registers, prefetch inert.
+    w.key("baseline");
+    w.open_obj();
+    w.field_u64("instructions", base.meas.instructions);
+    w.key("per_geom_stall_cycles");
+    w.u64_array(
+        &base
+            .per_geom
+            .iter()
+            .map(|s| s.stall_cycles)
+            .collect::<Vec<u64>>(),
+    );
+    w.key("per_depth_cycles");
+    w.open_arr();
+    for stages in DEPTHS {
+        let est = machine_cycles(Machine::Baseline, &base.meas, stages);
+        w.open_obj();
+        w.field_u64("stages", u64::from(stages));
+        w.field_u64("cycles", est.total);
+        w.close_obj();
+    }
+    w.close_arr();
+    w.close_obj();
+    // Per-breg cache stats (geometry-resolved, depth-independent).
+    w.key("br_configs");
+    w.open_arr();
+    for (n, out) in outs {
+        w.open_obj();
+        w.field_u64("bregs", u64::from(*n));
+        w.field_u64("prefetch_queue", u64::from(*n));
+        w.field_u64("instructions", out.meas.instructions);
+        w.field_u64("trace_words", out.trace_words);
+        w.key("per_geom");
+        w.open_arr();
+        for s in &out.per_geom {
+            w.open_obj();
+            w.field_u64("fetches", s.fetches);
+            w.field_u64("misses", s.misses);
+            w.field_u64("prefetch_hits", s.prefetch_hits);
+            w.field_u64("late_prefetch_hits", s.late_prefetch_hits);
+            w.field_u64("prefetch_dropped", s.prefetch_dropped);
+            w.field_u64("pollution", s.pollution);
+            w.field_u64("stall_cycles", s.stall_cycles);
+            w.close_obj();
+        }
+        w.close_arr();
+        w.close_obj();
+    }
+    w.close_arr();
+    w.key("points");
+    w.open_arr();
+    for p in points {
+        w.open_obj();
+        w.field_u64("bregs", u64::from(p.bregs));
+        w.field_u64("geom", p.geom as u64);
+        w.field_u64("stages", u64::from(p.stages));
+        w.field_u64("instructions", p.instructions);
+        w.field_u64("transfer_stalls", p.transfer_stalls);
+        w.field_u64("prefetch_stalls", p.prefetch_stalls);
+        w.field_u64("cache_stall_cycles", p.cache_stalls);
+        w.field_u64("total_cycles", p.total);
+        w.field_u64("cost_bits", p.cost);
+        w.field_u64("pareto", u64::from(p.pareto));
+        w.close_obj();
+    }
+    w.close_arr();
+    w.field_u64(
+        "pareto_count",
+        points.iter().filter(|p| p.pareto).count() as u64,
+    );
+    w.close_obj();
+    w.into_string()
+}
+
+// ---------------------------------------------------------------------
+// --section9: the legacy results/br_sweep.txt report (experiment E10)
+// ---------------------------------------------------------------------
+
+fn run_section9(args: &Args) -> Result<bool, String> {
+    let scale = args.scale;
+    let su = lower_suite(scale)?;
+    let mut store = ArtifactStore::default();
+    let fuel = Experiment::new().fuel;
+
+    let base_exp = Experiment {
+        tier: args.tier,
+        ..Experiment::new()
+    };
+    let base_progs = store.progs(&base_exp, Machine::Baseline, &su, args.jobs)?;
+    let (base_insts, _) = suite_insts_refs(&base_progs, &su.names, fuel, args.tier, args.jobs)?;
+
+    println!("Section 9 branch-register-count sweep ({scale:?} scale)");
+    println!("baseline machine: {} instructions", human(base_insts));
+    println!();
+    println!(
+        "{:>7} {:>16} {:>16} {:>10}",
+        "bregs", "br insts", "data refs", "vs base"
+    );
+    for n in [2u8, 3, 4, 5, 6, 8] {
+        let exp = Experiment {
+            br_opts: BrOptions {
+                num_bregs: n,
+                ..Default::default()
+            },
+            tier: args.tier,
+            ..Experiment::new()
+        };
+        let progs = store.progs(&exp, Machine::BranchReg, &su, args.jobs)?;
+        let (insts, refs) = suite_insts_refs(&progs, &su.names, fuel, args.tier, args.jobs)?;
+        println!(
+            "{:>7} {:>16} {:>16} {:>10}",
+            n,
+            human(insts),
+            human(refs),
+            pct((insts as f64 - base_insts as f64) / base_insts as f64 * 100.0)
+        );
+    }
+    println!();
+
+    println!("compiler-optimization ablations (8 branch registers):");
+    println!("{:<38} {:>16} {:>10}", "configuration", "br insts", "vs base");
+    let configs = [
+        ("full (paper configuration)", BrOptions::default()),
+        (
+            "no loop hoisting",
+            BrOptions {
+                hoisting: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "no noop replacement",
+            BrOptions {
+                noop_replacement: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "neither optimization",
+            BrOptions {
+                hoisting: false,
+                noop_replacement: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "fused fast compare (Section 9)",
+            BrOptions {
+                fused_compare: true,
+                ..Default::default()
+            },
+        ),
+    ];
+    for (name, opts) in configs {
+        let exp = Experiment {
+            br_opts: opts,
+            tier: args.tier,
+            ..Experiment::new()
+        };
+        let progs = store.progs(&exp, Machine::BranchReg, &su, args.jobs)?;
+        let (insts, _) = suite_insts_refs(&progs, &su.names, fuel, args.tier, args.jobs)?;
+        println!(
+            "{:<38} {:>16} {:>10}",
+            name,
+            human(insts),
+            pct((insts as f64 - base_insts as f64) / base_insts as f64 * 100.0)
+        );
+    }
+    Ok(true)
+}
+
+// ---------------------------------------------------------------------
+// --bench / --smoke: naive live-hook matrix vs record+replay, with
+// byte-identity verification
+// ---------------------------------------------------------------------
+
+fn root_path(name: &str) -> String {
+    format!("{}/../../{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn now_unix() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+fn run_bench(args: &Args) -> Result<bool, String> {
+    let smoke = args.smoke;
+    let su = lower_suite(args.scale)?;
+    let mut store = ArtifactStore::default();
+    let geoms = bench_geoms(smoke);
+    // Both passes share one compiled artifact set (paper BR config).
+    let exp = Experiment {
+        tier: args.tier,
+        ..Experiment::new()
+    };
+    let progs = store.progs(&exp, Machine::BranchReg, &su, args.jobs)?;
+    let cfgs: Vec<CacheConfig> = geoms.iter().map(|(_, c)| *c).collect();
+
+    let depths = DEPTHS.count();
+    println!(
+        "br-explore {} ({:?} scale): {} cache geometries x {} depths = {} design points, {} programs",
+        if smoke { "smoke" } else { "bench" },
+        args.scale,
+        geoms.len(),
+        depths,
+        geoms.len() * depths,
+        su.names.len()
+    );
+
+    // Naive: one live-hook emulation per *design point* — what a sweep
+    // script over the status-quo per-run API does: run_with_cache for
+    // the point's geometry (interp tier, its default), then price the
+    // point's pipeline depth from that run's measurements.
+    let t_naive = Instant::now();
+    let mut naive = Vec::with_capacity(cfgs.len());
+    for cfg in &cfgs {
+        let mut per_depth = Vec::with_capacity(depths);
+        let mut last = None;
+        for stages in DEPTHS {
+            let (meas, stats) =
+                live_suite(&progs, &su.names, *cfg, exp.fuel, ExecTier::Interp, args.jobs)?;
+            per_depth.push(machine_cycles(Machine::BranchReg, &meas, stages).total + stats.stall_cycles);
+            last = Some((meas, stats));
+        }
+        let (meas, stats) = last.expect("at least one depth");
+        naive.push((meas, stats, per_depth));
+    }
+    let naive_s = t_naive.elapsed().as_secs_f64();
+
+    // Replay: record once per program (the recorder rides any tier;
+    // default traced), replay the packed trace once per geometry, and
+    // price every depth from the one recorded measurement set.
+    let t_replay = Instant::now();
+    let out = record_replay(&progs, &su.names, &cfgs, exp.fuel, args.tier, args.jobs)?;
+    let replay_points: Vec<Vec<u64>> = out
+        .per_geom
+        .iter()
+        .map(|stats| {
+            br_pipeline::depth_sweep(Machine::BranchReg, &out.meas, DEPTHS)
+                .into_iter()
+                .map(|(_, est)| est.total + stats.stall_cycles)
+                .collect()
+        })
+        .collect();
+    let replay_s = t_replay.elapsed().as_secs_f64();
+
+    // Byte-identity: every replayed stat and cycle total must equal the
+    // live hook's, point for point.
+    let mut mismatches = Vec::new();
+    for (i, (label, _)) in geoms.iter().enumerate() {
+        if naive[i].1 != out.per_geom[i] {
+            mismatches.push(format!(
+                "{label}: live {:?} != replay {:?}",
+                naive[i].1, out.per_geom[i]
+            ));
+        }
+        if naive[i].0 != out.meas {
+            mismatches.push(format!(
+                "{label}: measurements diverged between live and recorded runs"
+            ));
+        }
+        for (d, stages) in DEPTHS.enumerate() {
+            if naive[i].2[d] != replay_points[i][d] {
+                mismatches.push(format!(
+                    "{label} stages {stages}: cycles {} != {}",
+                    naive[i].2[d], replay_points[i][d]
+                ));
+            }
+        }
+    }
+    for m in &mismatches {
+        eprintln!("MISMATCH {m}");
+    }
+    let identical = mismatches.is_empty();
+
+    let speedup = if replay_s > 0.0 { naive_s / replay_s } else { 0.0 };
+    println!(
+        "naive: {naive_s:.3}s ({} live-hook emulations)  record+replay: {replay_s:.3}s \
+         ({} recordings, {} replays)",
+        cfgs.len() * depths,
+        su.names.len(),
+        cfgs.len()
+    );
+    println!(
+        "speedup: {speedup:.2}x  replayed stats identical: {identical}  trace: {} words",
+        human(out.trace_words)
+    );
+
+    if !smoke || args.out.is_some() {
+        write_bench_tracker(args, &su, geoms.len(), naive_s, replay_s, speedup, &out, identical)?;
+    }
+
+    let mut ok = identical;
+    if let Some(floor) = args.check {
+        if speedup < floor {
+            eprintln!("CHECK FAILED: speedup {speedup:.2}x below the {floor:.2}x floor");
+            ok = false;
+        } else {
+            println!("check OK: speedup {speedup:.2}x >= {floor:.2}x floor");
+        }
+    }
+    Ok(ok)
+}
+
+/// Merge the fresh measurement into `BENCH_explore.json`, preserving
+/// the section not being recorded (the perf-tracker discipline).
+#[allow(clippy::too_many_arguments)]
+fn write_bench_tracker(
+    args: &Args,
+    su: &Suite,
+    configs: usize,
+    naive_s: f64,
+    replay_s: f64,
+    speedup: f64,
+    out: &ReplayOutcome,
+    identical: bool,
+) -> Result<(), String> {
+    let points = configs * DEPTHS.count();
+    let section = format!(
+        "{{\n    \"unix_time\": {},\n    \"matrix_geometries\": {configs},\n    \
+         \"matrix_points\": {points},\n    \
+         \"naive_seconds\": {naive_s:.3},\n    \"record_replay_seconds\": {replay_s:.3},\n    \
+         \"speedup\": {speedup:.2},\n    \"stats_identical\": {},\n    \
+         \"suite_instructions\": {},\n    \"trace_words\": {}\n  }}",
+        now_unix(),
+        u64::from(identical),
+        out.meas.instructions,
+        out.trace_words
+    );
+    let out_path = args
+        .out
+        .clone()
+        .unwrap_or_else(|| root_path("BENCH_explore.json"));
+    let existing = std::fs::read_to_string(&out_path).unwrap_or_default();
+    let (seed, current) = if args.record == "seed" {
+        (section.clone(), section)
+    } else {
+        (
+            extract_object(&existing, "seed").unwrap_or_else(|| section.clone()),
+            section,
+        )
+    };
+
+    let mut body = format!(
+        "{{\n  \"schema\": \"br-explore-bench-v1\",\n  \"scale\": \"{:?}\",\n  \
+         \"suite_programs\": {},\n  \"naive_tier\": \"interp\",\n  \"record_tier\": \"{}\",\n",
+        args.scale,
+        su.names.len(),
+        args.tier.name()
+    );
+    body.push_str(&format!("  \"seed\": {seed},\n  \"current\": {current},\n"));
+    if let (Some(before), Some(after)) = (
+        scan_number(&seed, "speedup"),
+        scan_number(&current, "speedup"),
+    ) {
+        if before > 0.0 {
+            body.push_str(&format!(
+                "  \"speedup_vs_seed\": {:.2},\n",
+                after / before
+            ));
+        }
+    }
+    body.push_str(
+        "  \"note\": \"speedup = naive (one live ICacheSim hook emulation per cache \
+         configuration, the status-quo run_with_cache path, interp tier) over \
+         record+replay (one FetchTrace recording per program on the record tier, \
+         replayed through every configuration); replayed stats are byte-identical \
+         to the live hook's\"\n}\n",
+    );
+    std::fs::write(&out_path, &body).map_err(|e| format!("write {out_path}: {e}"))?;
+    println!("wrote {out_path}");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("br-explore: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = if args.section9 {
+        run_section9(&args)
+    } else if args.bench || args.smoke {
+        run_bench(&args)
+    } else {
+        run_sweep(&args)
+    };
+    match result {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("br-explore: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -141,12 +141,7 @@ fn cost_points(
         let mut points = Vec::new();
         for stages in STAGES {
             let st = tv::static_cycles(&prog, hook.retired_counts(), stages);
-            let dy = match machine {
-                Machine::Baseline => {
-                    pipeline::cycles(pipeline::BranchScheme::Delayed, meas, stages)
-                }
-                Machine::BranchReg => pipeline::br_machine_cycles(meas, stages),
-            };
+            let dy = pipeline::machine_cycles(machine, meas, stages);
             points.push(CostPoint {
                 stages,
                 static_total: st.total.total,

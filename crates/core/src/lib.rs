@@ -25,9 +25,9 @@ pub mod parallel;
 pub use br_codegen::{
     BaseOptions, BrOptions, CodegenError, CodegenStats, FuncMetrics, StageTimes,
 };
-pub use br_emu::{EmuError, Measurements};
+pub use br_emu::{EmuError, FetchRecorder, FetchTrace, Measurements, TraceEvent};
 pub use br_frontend::CompileError as FrontendError;
-pub use br_icache::{CacheConfig, CacheStats, ICacheSim};
+pub use br_icache::{replay, CacheConfig, CacheConfigError, CacheStats, ICacheSim};
 pub use br_isa::{Machine, Program};
 pub use br_pipeline as pipeline;
 pub use br_verify::VerifyError;
@@ -539,6 +539,38 @@ impl Experiment {
         ))
     }
 
+    /// Compile an already-lowered module for `machine` and run it once
+    /// while recording a replayable [`FetchTrace`] (record-once /
+    /// replay-many: evaluate any number of [`CacheConfig`] geometries
+    /// with [`br_icache::replay`] and pipeline depths with
+    /// [`pipeline::depth_sweep`] from this single execution — see
+    /// DESIGN.md §design-space-exploration).
+    ///
+    /// # Errors
+    ///
+    /// Any pipeline error.
+    pub fn run_with_trace(
+        &self,
+        module: &br_ir::Module,
+        machine: Machine,
+    ) -> Result<(RunResult, FetchTrace), Error> {
+        let (prog, stats) = self.compile_module_for(module, machine)?;
+        let mut emu = br_emu::Emulator::new(&prog).with_tier(self.tier);
+        let mut rec = br_emu::FetchRecorder::new();
+        let exit = emu.run_with_hook(self.fuel, &mut rec)?;
+        let meas = emu.measurements().clone();
+        let trace = rec.finish(&meas);
+        Ok((
+            RunResult {
+                exit,
+                meas,
+                stats,
+                static_insts: prog.static_inst_count(),
+            },
+            trace,
+        ))
+    }
+
     /// Run `src` on both machines and check they agree.
     ///
     /// # Errors
@@ -642,10 +674,7 @@ impl Experiment {
         emu.run_with_hook(self.fuel, &mut hook)?;
         let meas = emu.measurements();
         let static_est = br_verify::tv::static_cycles(&prog, &hook.counts, stages);
-        let dynamic = match machine {
-            Machine::Baseline => pipeline::cycles(pipeline::BranchScheme::Delayed, meas, stages),
-            Machine::BranchReg => pipeline::br_machine_cycles(meas, stages),
-        };
+        let dynamic = pipeline::machine_cycles(machine, meas, stages);
         Ok(CostCheck {
             machine,
             stages,

@@ -1,0 +1,341 @@
+//! Record-once / replay-many fetch traces.
+//!
+//! Every timing question this repo answers — icache stats for a
+//! geometry, pipeline cycles for a depth — is a pure function of the
+//! *event stream* a run produces (fetch addresses and prefetch
+//! requests, in order) plus the run's [`Measurements`]. The stream
+//! itself does not depend on any cache or pipeline parameter, so one
+//! functional execution can be recorded once and replayed through
+//! arbitrarily many timing configurations (see DESIGN.md
+//! §design-space-exploration).
+//!
+//! [`FetchRecorder`] is an [`ExecHook`], so it rides every execution
+//! tier (interpreted, threaded, traced) — the hook event streams are
+//! pinned tier-identical by `tests/profile_equivalence.rs` — instead of
+//! being locked to the instrumented interpreter loop the way a live
+//! `ICacheSim` sweep is. The recording is run-length coded: sequential
+//! fetches (each instruction 4 bytes after the last) collapse into one
+//! *fetch run*, so the log costs one word per straight-line extent
+//! (bounded by transfers of control, ~14% of instructions) rather than
+//! one word per instruction. Transfer edges are implicit: every run
+//! boundary that is not caused by a prefetch event is a taken transfer
+//! of control.
+//!
+//! Packed event encoding (`u64`, bit 63 is the tag):
+//!
+//! ```text
+//! 0 len:31 addr:32   fetch run: `len` sequential fetches from `addr`
+//! 1 0:31   addr:32   prefetch request for `addr`
+//! ```
+
+use crate::emu::{EmuError, Emulator, ExecTier};
+use crate::hooks::ExecHook;
+use crate::measure::Measurements;
+
+const TAG_PREFETCH: u64 = 1 << 63;
+/// Longest representable fetch run (31 bits of length).
+const MAX_RUN: u64 = (1 << 31) - 1;
+
+/// One decoded trace event (see the module docs for the packing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// `len` sequential instruction fetches starting at `addr`
+    /// (addresses `addr, addr+4, …, addr + 4*(len-1)`).
+    FetchRun {
+        /// Address of the first fetch in the run.
+        addr: u32,
+        /// Number of fetches in the run (≥ 1).
+        len: u32,
+    },
+    /// A branch-register assignment asked the cache to prefetch `addr`.
+    Prefetch {
+        /// Prefetch target address.
+        addr: u32,
+    },
+}
+
+/// [`ExecHook`] that captures a replayable [`FetchTrace`].
+///
+/// Feed it to [`Emulator::run_with_hook`] (any tier), then call
+/// [`finish`](Self::finish) with the emulator's measurements.
+#[derive(Debug, Clone, Default)]
+pub struct FetchRecorder {
+    events: Vec<u64>,
+    run_start: u32,
+    run_len: u64,
+    fetches: u64,
+    prefetches: u64,
+}
+
+impl FetchRecorder {
+    /// A recorder with empty buffers.
+    pub fn new() -> FetchRecorder {
+        FetchRecorder::default()
+    }
+
+    fn flush_run(&mut self) {
+        if self.run_len > 0 {
+            self.events
+                .push((self.run_len << 32) | u64::from(self.run_start));
+            self.run_len = 0;
+        }
+    }
+
+    /// Seal the recording, attaching the run's measurements so replays
+    /// can also answer pipeline-depth questions.
+    pub fn finish(mut self, meas: &Measurements) -> FetchTrace {
+        self.flush_run();
+        FetchTrace {
+            events: self.events,
+            meas: meas.clone(),
+            fetches: self.fetches,
+            prefetches: self.prefetches,
+        }
+    }
+}
+
+impl ExecHook for FetchRecorder {
+    fn fetch(&mut self, addr: u32) {
+        if self.run_len > 0
+            && self.run_len < MAX_RUN
+            && addr == self.run_start.wrapping_add((self.run_len as u32) << 2)
+        {
+            self.run_len += 1;
+        } else {
+            self.flush_run();
+            self.run_start = addr;
+            self.run_len = 1;
+        }
+        self.fetches += 1;
+    }
+
+    fn prefetch(&mut self, addr: u32) {
+        // Order matters to the cache model: close the current run so
+        // replay interleaves the prefetch exactly where it happened.
+        self.flush_run();
+        self.events.push(TAG_PREFETCH | u64::from(addr));
+        self.prefetches += 1;
+    }
+}
+
+/// A sealed recording of one program execution: the packed fetch /
+/// prefetch event log plus the run's [`Measurements`].
+///
+/// Replay contract: pushing the decoded events, in order, into a fresh
+/// `ICacheSim` yields `CacheStats` byte-identical to running that sim
+/// live as the hook of the same execution; the embedded measurements
+/// give `br_pipeline` cycle estimates byte-identical to a live run's.
+/// Both are pinned by `crates/torture/tests/replay_properties.rs`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FetchTrace {
+    events: Vec<u64>,
+    meas: Measurements,
+    fetches: u64,
+    prefetches: u64,
+}
+
+impl FetchTrace {
+    /// Compile-free convenience: emulate `prog` on `tier` while
+    /// recording, returning the exit code and the sealed trace.
+    pub fn record(
+        prog: &br_isa::Program,
+        fuel: u64,
+        tier: ExecTier,
+    ) -> Result<(i32, FetchTrace), EmuError> {
+        let mut emu = Emulator::new(prog).with_tier(tier);
+        let mut rec = FetchRecorder::new();
+        let exit = emu.run_with_hook(fuel, &mut rec)?;
+        Ok((exit, rec.finish(emu.measurements())))
+    }
+
+    /// Decoded events, in recorded order.
+    pub fn events(&self) -> impl Iterator<Item = TraceEvent> + '_ {
+        self.events.iter().map(|&w| {
+            if w & TAG_PREFETCH != 0 {
+                TraceEvent::Prefetch { addr: w as u32 }
+            } else {
+                TraceEvent::FetchRun {
+                    addr: w as u32,
+                    len: (w >> 32) as u32,
+                }
+            }
+        })
+    }
+
+    /// The measurements of the recorded run.
+    pub fn measurements(&self) -> &Measurements {
+        &self.meas
+    }
+
+    /// Total instruction fetches recorded (sum of run lengths).
+    pub fn fetches(&self) -> u64 {
+        self.fetches
+    }
+
+    /// Total prefetch requests recorded.
+    pub fn prefetches(&self) -> u64 {
+        self.prefetches
+    }
+
+    /// Number of packed event words (the log's memory footprint is
+    /// `8 * packed_len()` bytes — one word per straight-line extent or
+    /// prefetch, not per instruction).
+    pub fn packed_len(&self) -> usize {
+        self.events.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hooks::TraceHook;
+
+    fn replay_fetches(t: &FetchTrace) -> (Vec<u32>, Vec<u32>) {
+        let mut fetches = Vec::new();
+        let mut prefetches = Vec::new();
+        for ev in t.events() {
+            match ev {
+                TraceEvent::FetchRun { addr, len } => {
+                    for i in 0..len {
+                        fetches.push(addr.wrapping_add(i << 2));
+                    }
+                }
+                TraceEvent::Prefetch { addr } => prefetches.push(addr),
+            }
+        }
+        (fetches, prefetches)
+    }
+
+    #[test]
+    fn sequential_fetches_collapse_into_one_run() {
+        let mut r = FetchRecorder::new();
+        for i in 0..5u32 {
+            r.fetch(0x1000 + i * 4);
+        }
+        let t = r.finish(&Measurements::new());
+        assert_eq!(t.packed_len(), 1);
+        assert_eq!(t.fetches(), 5);
+        assert_eq!(
+            t.events().next(),
+            Some(TraceEvent::FetchRun {
+                addr: 0x1000,
+                len: 5
+            })
+        );
+    }
+
+    #[test]
+    fn taken_transfer_breaks_the_run() {
+        let mut r = FetchRecorder::new();
+        r.fetch(0x1000);
+        r.fetch(0x1004);
+        r.fetch(0x2000); // not 0x1008: a taken transfer
+        r.fetch(0x2004);
+        let t = r.finish(&Measurements::new());
+        let evs: Vec<_> = t.events().collect();
+        assert_eq!(
+            evs,
+            vec![
+                TraceEvent::FetchRun {
+                    addr: 0x1000,
+                    len: 2
+                },
+                TraceEvent::FetchRun {
+                    addr: 0x2000,
+                    len: 2
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn prefetch_is_interleaved_at_its_recorded_position() {
+        let mut r = FetchRecorder::new();
+        r.fetch(0x1000);
+        r.prefetch(0x4000);
+        r.fetch(0x1004); // sequential, but the prefetch split the run
+        let t = r.finish(&Measurements::new());
+        let evs: Vec<_> = t.events().collect();
+        assert_eq!(
+            evs,
+            vec![
+                TraceEvent::FetchRun {
+                    addr: 0x1000,
+                    len: 1
+                },
+                TraceEvent::Prefetch { addr: 0x4000 },
+                TraceEvent::FetchRun {
+                    addr: 0x1004,
+                    len: 1
+                },
+            ]
+        );
+        assert_eq!(t.prefetches(), 1);
+    }
+
+    #[test]
+    fn backward_jump_to_same_address_starts_a_new_run() {
+        // A 1-instruction self-loop fetches the same address twice; the
+        // second fetch is not start+4 so it must open a new run.
+        let mut r = FetchRecorder::new();
+        r.fetch(0x1000);
+        r.fetch(0x1000);
+        let t = r.finish(&Measurements::new());
+        assert_eq!(t.packed_len(), 2);
+        assert_eq!(t.fetches(), 2);
+    }
+
+    #[test]
+    fn decoded_trace_matches_a_live_trace_hook() {
+        // Record a real program on every tier and check the decoded
+        // trace equals the raw TraceHook streams (and each other).
+        let src = "
+            int main() {
+                int i; int s;
+                s = 0;
+                for (i = 0; i < 50; i = i + 1) {
+                    if (i % 3 == 0) { s = s + i; } else { s = s - 1; }
+                }
+                return s;
+            }
+        ";
+        for machine in [br_isa::Machine::Baseline, br_isa::Machine::BranchReg] {
+            let module = br_frontend::compile(src).expect("frontend");
+            let prog = br_codegen::compile_module(
+                &module,
+                machine,
+                Default::default(),
+                Default::default(),
+            )
+            .expect("codegen")
+            .asm
+            .assemble()
+            .expect("assemble");
+            let mut live = TraceHook::default();
+            let mut emu = Emulator::new(&prog);
+            let live_exit = emu.run_with_hook(1_000_000, &mut live).expect("run");
+            let live_meas = emu.measurements().clone();
+
+            let mut traces = Vec::new();
+            for tier in [ExecTier::Interp, ExecTier::Threaded, ExecTier::Traced] {
+                let (exit, t) = FetchTrace::record(&prog, 1_000_000, tier).expect("record");
+                assert_eq!(exit, live_exit);
+                traces.push(t);
+            }
+            for t in &traces {
+                let (fetches, prefetches) = replay_fetches(t);
+                assert_eq!(fetches, live.fetches, "{machine:?} fetch stream");
+                assert_eq!(prefetches, live.prefetches, "{machine:?} prefetch stream");
+                assert_eq!(t.fetches(), live.fetches.len() as u64);
+                assert_eq!(t.measurements(), &live_meas);
+                // RLE must actually compress: runs end at taken
+                // transfers (plus prefetch splits), so the packed log
+                // is far smaller than the flat fetch list.
+                assert!(t.packed_len() < live.fetches.len());
+            }
+            // Tier-invariant: identical packed logs on all tiers.
+            assert_eq!(traces[0], traces[1], "{machine:?} interp vs threaded");
+            assert_eq!(traces[0], traces[2], "{machine:?} interp vs traced");
+        }
+    }
+}

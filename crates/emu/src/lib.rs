@@ -17,11 +17,13 @@
 
 pub mod dispatch;
 pub mod emu;
+pub mod fetch_trace;
 pub mod hooks;
 pub mod measure;
 pub mod trace;
 
 pub use emu::{EmuError, Emulator, ExecTier, Fault};
+pub use fetch_trace::{FetchRecorder, FetchTrace, TraceEvent};
 pub use trace::TraceCache;
 pub use hooks::{ExecHook, NoHook, TraceHook, TRACE_HOOK_DEFAULT_CAP};
 pub use measure::{Measurements, MAX_DIST_BUCKET};

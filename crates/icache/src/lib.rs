@@ -25,7 +25,8 @@
 //! # Ok::<(), br_emu::EmuError>(())
 //! ```
 
-use br_emu::ExecHook;
+use br_emu::{ExecHook, FetchTrace, TraceEvent};
+use std::fmt;
 
 /// Cache geometry and timing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,7 +62,82 @@ impl Default for CacheConfig {
     }
 }
 
+/// A rejected [`CacheConfig`]: a geometry the simulator cannot model.
+///
+/// Every reject is typed so sweep drivers can report *which* axis of a
+/// generated configuration was invalid instead of dying on an assert
+/// (or a divide-by-zero) deep inside the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheConfigError {
+    /// `sets == 0` — the placement function divides by the set count.
+    ZeroSets,
+    /// `assoc == 0` — every set needs at least one line.
+    ZeroAssoc,
+    /// `line_words == 0` — lines must hold at least one instruction.
+    ZeroLineWords,
+    /// `sets` is not a power of two (set indexing is a mask).
+    SetsNotPowerOfTwo(usize),
+    /// `line_words` is not a power of two (line offset is a mask).
+    LineWordsNotPowerOfTwo(usize),
+}
+
+impl fmt::Display for CacheConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            CacheConfigError::ZeroSets => write!(f, "cache must have at least one set"),
+            CacheConfigError::ZeroAssoc => {
+                write!(f, "cache associativity must be at least 1")
+            }
+            CacheConfigError::ZeroLineWords => {
+                write!(f, "cache lines must hold at least one word")
+            }
+            CacheConfigError::SetsNotPowerOfTwo(n) => {
+                write!(f, "sets must be a power of two (got {n})")
+            }
+            CacheConfigError::LineWordsNotPowerOfTwo(n) => {
+                write!(f, "line_words must be a power of two (got {n})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CacheConfigError {}
+
 impl CacheConfig {
+    /// Check the geometry the simulator requires: nonzero `sets`,
+    /// `assoc` and `line_words`, with `sets` and `line_words` powers of
+    /// two. Returns the first violated constraint.
+    pub fn validate(&self) -> Result<(), CacheConfigError> {
+        if self.sets == 0 {
+            return Err(CacheConfigError::ZeroSets);
+        }
+        if self.assoc == 0 {
+            return Err(CacheConfigError::ZeroAssoc);
+        }
+        if self.line_words == 0 {
+            return Err(CacheConfigError::ZeroLineWords);
+        }
+        if !self.sets.is_power_of_two() {
+            return Err(CacheConfigError::SetsNotPowerOfTwo(self.sets));
+        }
+        if !self.line_words.is_power_of_two() {
+            return Err(CacheConfigError::LineWordsNotPowerOfTwo(self.line_words));
+        }
+        Ok(())
+    }
+
+    /// The default geometry sized for a machine with `num_bregs` branch
+    /// registers: the paper's "size of the queue equal to the number of
+    /// available branch registers" rule, so breg sweeps shrink the
+    /// prefetch queue along with the register file instead of keeping
+    /// the 8-register machine's queue.
+    pub fn for_bregs(num_bregs: usize) -> CacheConfig {
+        CacheConfig {
+            prefetch_queue: num_bregs,
+            ..CacheConfig::default()
+        }
+    }
+
     /// Total capacity in bytes.
     pub fn capacity(&self) -> usize {
         self.sets * self.assoc * self.line_words * 4
@@ -122,6 +198,21 @@ impl CacheStats {
             self.misses as f64 / self.fetches as f64
         }
     }
+
+    /// Accumulate another run's counters into this one (suite totals).
+    pub fn accumulate(&mut self, other: &CacheStats) {
+        self.fetches += other.fetches;
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.late_prefetch_hits += other.late_prefetch_hits;
+        self.prefetch_hits += other.prefetch_hits;
+        self.prefetches += other.prefetches;
+        self.prefetch_dropped += other.prefetch_dropped;
+        self.prefetch_redundant += other.prefetch_redundant;
+        self.pollution += other.pollution;
+        self.stall_cycles += other.stall_cycles;
+        self.cycles += other.cycles;
+    }
 }
 
 #[derive(Debug, Clone, Copy, Default)]
@@ -144,28 +235,49 @@ pub struct ICacheSim {
     lines: Vec<Line>, // sets * assoc, row-major by set
     stats: CacheStats,
     cycle: u64,
+    /// `log2(line bytes)` — placement is shift/mask, not division
+    /// (geometry is validated power-of-two at construction).
+    line_shift: u32,
+    /// `sets - 1`.
+    set_mask: u32,
+    /// `log2(sets)`.
+    set_shift: u32,
+    /// Candidate in-flight prefetches as `(ready_at, line index)`,
+    /// pushed at install time. An entry goes stale when its line is
+    /// overwritten (the line's `ready_at` no longer matches) or the
+    /// clock passes `ready_at`; [`in_flight`](Self::in_flight) filters
+    /// entries against the live line state, so the count equals the
+    /// full-scan definition (valid lines with `ready_at > now`) at
+    /// O(queue depth) cost instead of O(lines) per prefetch.
+    pending: Vec<(u64, u32)>,
 }
 
 impl ICacheSim {
+    /// Create an empty (cold) cache, rejecting impossible geometries
+    /// with a typed error (see [`CacheConfig::validate`]).
+    pub fn try_new(cfg: CacheConfig) -> Result<ICacheSim, CacheConfigError> {
+        cfg.validate()?;
+        Ok(ICacheSim {
+            cfg,
+            lines: vec![Line::default(); cfg.sets * cfg.assoc],
+            stats: CacheStats::default(),
+            cycle: 0,
+            line_shift: 2 + (cfg.line_words as u32).trailing_zeros(),
+            set_mask: cfg.sets as u32 - 1,
+            set_shift: (cfg.sets as u32).trailing_zeros(),
+            pending: Vec::new(),
+        })
+    }
+
     /// Create an empty (cold) cache.
     ///
     /// # Panics
     ///
     /// Panics if any geometry parameter is zero or `sets`/`line_words`
-    /// are not powers of two.
+    /// are not powers of two; use [`try_new`](Self::try_new) to handle
+    /// generated configurations gracefully.
     pub fn new(cfg: CacheConfig) -> ICacheSim {
-        assert!(cfg.sets.is_power_of_two(), "sets must be a power of two");
-        assert!(
-            cfg.line_words.is_power_of_two(),
-            "line_words must be a power of two"
-        );
-        assert!(cfg.assoc > 0);
-        ICacheSim {
-            cfg,
-            lines: vec![Line::default(); cfg.sets * cfg.assoc],
-            stats: CacheStats::default(),
-            cycle: 0,
-        }
+        Self::try_new(cfg).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// The collected statistics.
@@ -178,8 +290,13 @@ impl ICacheSim {
         &self.cfg
     }
 
+    /// Shift/mask placement — identical to [`CacheConfig::set_and_tag`]
+    /// for the validated power-of-two geometries this simulator holds
+    /// (pinned by a test below), but cheap enough for the replay hot
+    /// loop.
     fn set_and_tag(&self, addr: u32) -> (usize, u32) {
-        self.cfg.set_and_tag(addr)
+        let line_addr = addr >> self.line_shift;
+        ((line_addr & self.set_mask) as usize, line_addr >> self.set_shift)
     }
 
     fn lookup(&mut self, set: usize, tag: u32) -> Option<usize> {
@@ -208,13 +325,72 @@ impl ICacheSim {
         i
     }
 
-    fn in_flight(&self) -> usize {
+    /// Valid lines whose fill has not completed — the full-scan
+    /// definition `lines.iter().filter(|l| l.valid && l.ready_at > now)`
+    /// evaluated through the `pending` candidate list (every line with a
+    /// future `ready_at` was installed by a prefetch, the only writer of
+    /// future ready times, so it has a matching candidate entry).
+    fn in_flight(&mut self) -> usize {
         let now = self.cycle;
-        self.lines
-            .iter()
-            .filter(|l| l.valid && l.ready_at > now)
-            .count()
+        let lines = &self.lines;
+        self.pending.retain(|&(ready, i)| {
+            let l = &lines[i as usize];
+            l.valid && l.ready_at == ready && ready > now
+        });
+        self.pending.len()
     }
+
+    /// Simulate `len` sequential fetches starting at `addr` (addresses
+    /// `addr, addr+4, …`) — one recorded straight-line extent.
+    ///
+    /// Byte-identical to calling [`fetch`](ExecHook::fetch) `len` times,
+    /// but only the first fetch of each cache line takes the full
+    /// lookup path: once a line has been demand-fetched, the remaining
+    /// fetches inside it are guaranteed plain hits (the line is valid,
+    /// its fill is complete — `fetch` never returns with
+    /// `ready_at > cycle` — it is MRU, and no other access intervenes
+    /// within a run), so they are charged in one batched step. This is
+    /// what makes trace replay line-granular rather than
+    /// instruction-granular.
+    pub fn fetch_run(&mut self, addr: u32, len: u32) {
+        let line_bytes = (self.cfg.line_words as u32) << 2;
+        let mut addr = addr;
+        let mut remaining = len;
+        while remaining > 0 {
+            self.fetch(addr);
+            remaining -= 1;
+            let in_line = (line_bytes - (addr & (line_bytes - 1))) / 4 - 1;
+            let batched = in_line.min(remaining);
+            if batched > 0 {
+                let k = u64::from(batched);
+                self.cycle += k;
+                self.stats.cycles += k;
+                self.stats.fetches += k;
+                self.stats.hits += k;
+                let (set, tag) = self.set_and_tag(addr);
+                let i = self.lookup(set, tag).expect("line fetched above");
+                self.lines[i].last_used = self.cycle;
+                remaining -= batched;
+            }
+            addr = addr.wrapping_add((1 + batched) << 2);
+        }
+    }
+}
+
+/// Replay a recorded [`FetchTrace`] through one cache geometry,
+/// returning the statistics a live [`ICacheSim`] hook would have
+/// collected on the recorded execution — byte-identical, per the replay
+/// contract pinned in `crates/torture/tests/replay_properties.rs` —
+/// without re-executing the program.
+pub fn replay(cfg: CacheConfig, trace: &FetchTrace) -> Result<CacheStats, CacheConfigError> {
+    let mut sim = ICacheSim::try_new(cfg)?;
+    for ev in trace.events() {
+        match ev {
+            TraceEvent::FetchRun { addr, len } => sim.fetch_run(addr, len),
+            TraceEvent::Prefetch { addr } => sim.prefetch(addr),
+        }
+    }
+    Ok(sim.stats)
 }
 
 impl ExecHook for ICacheSim {
@@ -284,6 +460,12 @@ impl ExecHook for ICacheSim {
             last_used: self.cycle,
             prefetched_unused: true,
         };
+        if ready > self.cycle {
+            // Overwriting a line retires its old candidate entry (a
+            // direct-mapped set can evict a same-cycle prefetch).
+            self.pending.retain(|&(_, j)| j as usize != i);
+            self.pending.push((ready, i as u32));
+        }
     }
 }
 
@@ -422,5 +604,263 @@ mod tests {
             sets: 3,
             ..CacheConfig::default()
         });
+    }
+
+    #[test]
+    fn validate_rejects_each_bad_axis() {
+        let ok = CacheConfig::default();
+        assert_eq!(ok.validate(), Ok(()));
+        assert_eq!(
+            CacheConfig { sets: 0, ..ok }.validate(),
+            Err(CacheConfigError::ZeroSets)
+        );
+        assert_eq!(
+            CacheConfig { assoc: 0, ..ok }.validate(),
+            Err(CacheConfigError::ZeroAssoc)
+        );
+        assert_eq!(
+            CacheConfig {
+                line_words: 0,
+                ..ok
+            }
+            .validate(),
+            Err(CacheConfigError::ZeroLineWords)
+        );
+        assert_eq!(
+            CacheConfig { sets: 48, ..ok }.validate(),
+            Err(CacheConfigError::SetsNotPowerOfTwo(48))
+        );
+        assert_eq!(
+            CacheConfig {
+                line_words: 3,
+                ..ok
+            }
+            .validate(),
+            Err(CacheConfigError::LineWordsNotPowerOfTwo(3))
+        );
+        // try_new surfaces the same typed error instead of panicking.
+        assert_eq!(
+            ICacheSim::try_new(CacheConfig { sets: 0, ..ok }).err(),
+            Some(CacheConfigError::ZeroSets)
+        );
+        assert!(ICacheSim::try_new(ok).is_ok());
+    }
+
+    #[test]
+    fn error_display_names_the_constraint() {
+        assert!(CacheConfigError::SetsNotPowerOfTwo(3)
+            .to_string()
+            .contains("power of two (got 3)"));
+        assert!(CacheConfigError::ZeroSets.to_string().contains("set"));
+        assert!(CacheConfigError::ZeroAssoc
+            .to_string()
+            .contains("associativity"));
+        assert!(CacheConfigError::ZeroLineWords.to_string().contains("word"));
+    }
+
+    #[test]
+    fn for_bregs_sizes_the_queue_to_the_register_file() {
+        for n in [2usize, 4, 6, 8] {
+            let cfg = CacheConfig::for_bregs(n);
+            assert_eq!(cfg.prefetch_queue, n);
+            // Everything else is the paper's default geometry.
+            assert_eq!(
+                CacheConfig {
+                    prefetch_queue: 8,
+                    ..cfg
+                },
+                CacheConfig::default()
+            );
+        }
+    }
+
+    #[test]
+    fn stats_accumulate_sums_every_field() {
+        let mut c = tiny();
+        c.fetch(0x1000);
+        c.prefetch(0x2000);
+        c.fetch(0x2000);
+        let one = *c.stats();
+        let mut total = one;
+        total.accumulate(&one);
+        assert_eq!(total.fetches, 2 * one.fetches);
+        assert_eq!(total.cycles, 2 * one.cycles);
+        assert_eq!(total.stall_cycles, 2 * one.stall_cycles);
+        assert_eq!(total.late_prefetch_hits, 2 * one.late_prefetch_hits);
+        assert_eq!(total.prefetches, 2 * one.prefetches);
+    }
+
+    /// `fetch_run` must be indistinguishable from the per-fetch loop —
+    /// full simulator state, not just stats — across runs that start
+    /// mid-line, span lines, collide in sets, and interleave with
+    /// prefetches.
+    #[test]
+    fn fetch_run_matches_per_fetch_loop() {
+        // Deterministic pseudo-random walk (splitmix-style) producing
+        // runs of varied length/alignment plus occasional prefetches.
+        let mut x = 0x9e3779b97f4a7c15u64;
+        let mut step = move || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x >> 33
+        };
+        let geoms = [
+            CacheConfig::default(),
+            CacheConfig {
+                sets: 4,
+                assoc: 1,
+                line_words: 4,
+                miss_penalty: 10,
+                prefetch_queue: 2,
+                prefetch: true,
+            },
+            CacheConfig {
+                sets: 8,
+                assoc: 2,
+                line_words: 8,
+                miss_penalty: 6,
+                prefetch_queue: 4,
+                prefetch: true,
+            },
+        ];
+        for cfg in geoms {
+            let mut batched = ICacheSim::new(cfg);
+            let mut scalar = ICacheSim::new(cfg);
+            for _ in 0..400 {
+                let r = step();
+                if r % 5 == 0 {
+                    let addr = ((r >> 8) as u32 & 0xFFFF) << 2;
+                    batched.prefetch(addr);
+                    scalar.prefetch(addr);
+                } else {
+                    let addr = ((r >> 8) as u32 & 0xFFFF) << 2;
+                    let len = 1 + ((r >> 24) as u32 % 13);
+                    batched.fetch_run(addr, len);
+                    for i in 0..len {
+                        scalar.fetch(addr.wrapping_add(i << 2));
+                    }
+                }
+            }
+            assert_eq!(batched.stats(), scalar.stats(), "stats diverged: {cfg:?}");
+            assert_eq!(batched.cycle, scalar.cycle, "clock diverged: {cfg:?}");
+            for (i, (a, b)) in batched.lines.iter().zip(scalar.lines.iter()).enumerate() {
+                assert_eq!(
+                    (a.valid, a.tag, a.ready_at, a.last_used, a.prefetched_unused),
+                    (b.valid, b.tag, b.ready_at, b.last_used, b.prefetched_unused),
+                    "line {i} diverged: {cfg:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fast_placement_matches_config_placement() {
+        let geoms = [
+            CacheConfig::default(),
+            CacheConfig {
+                sets: 1,
+                assoc: 2,
+                line_words: 1,
+                ..CacheConfig::default()
+            },
+            CacheConfig {
+                sets: 128,
+                assoc: 1,
+                line_words: 8,
+                ..CacheConfig::default()
+            },
+        ];
+        for cfg in geoms {
+            let c = ICacheSim::new(cfg);
+            for addr in (0..0x4_0000u32).step_by(4).chain([!3u32, 0x7FFF_FFFC]) {
+                assert_eq!(
+                    c.set_and_tag(addr),
+                    cfg.set_and_tag(addr),
+                    "placement diverged at {addr:#x} for {cfg:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pending_in_flight_matches_full_scan() {
+        // Stress the candidate list (including same-cycle eviction in a
+        // direct-mapped cache) and compare against the full-scan
+        // definition after every operation.
+        let cfgs = [
+            CacheConfig {
+                sets: 2,
+                assoc: 1,
+                line_words: 4,
+                miss_penalty: 7,
+                prefetch_queue: 4,
+                prefetch: true,
+            },
+            CacheConfig {
+                sets: 8,
+                assoc: 2,
+                line_words: 4,
+                miss_penalty: 3,
+                prefetch_queue: 2,
+                prefetch: true,
+            },
+        ];
+        let mut x = 0x1234_5678_9abc_def0u64;
+        let mut step = move || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x >> 33
+        };
+        for cfg in cfgs {
+            let mut c = ICacheSim::new(cfg);
+            for _ in 0..600 {
+                let r = step();
+                let addr = ((r >> 4) as u32 & 0xFFF) << 2;
+                if r % 3 == 0 {
+                    c.prefetch(addr);
+                } else {
+                    c.fetch(addr);
+                }
+                let now = c.cycle;
+                let scan = c
+                    .lines
+                    .iter()
+                    .filter(|l| l.valid && l.ready_at > now)
+                    .count();
+                assert_eq!(c.in_flight(), scan, "in-flight count diverged: {cfg:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn replay_equals_live_hook_on_a_recorded_stream() {
+        // Drive the same event sequence through a live sim (as the
+        // emulator hook would) and through record → replay.
+        let cfg = tiny().cfg;
+        let mut live = ICacheSim::new(cfg);
+        let mut rec = br_emu::FetchRecorder::new();
+        let feed = |live: &mut ICacheSim, rec: &mut br_emu::FetchRecorder| {
+            for i in 0..6u32 {
+                let a = 0x1000 + i * 4;
+                live.fetch(a);
+                rec.fetch(a);
+            }
+            live.prefetch(0x2000);
+            rec.prefetch(0x2000);
+            for i in 0..12u32 {
+                let a = 0x1010 + (i % 4) * 4;
+                live.fetch(a);
+                rec.fetch(a);
+            }
+            live.fetch(0x2000);
+            rec.fetch(0x2000);
+        };
+        feed(&mut live, &mut rec);
+        let trace = rec.finish(&br_emu::Measurements::new());
+        let replayed = replay(cfg, &trace).expect("valid geometry");
+        assert_eq!(&replayed, live.stats());
+        // And an invalid geometry comes back as the typed error.
+        assert_eq!(
+            replay(CacheConfig { sets: 0, ..cfg }, &trace),
+            Err(CacheConfigError::ZeroSets)
+        );
     }
 }

@@ -131,6 +131,33 @@ pub fn br_machine_cycles(m: &Measurements, stages: u32) -> CycleEstimate {
     }
 }
 
+/// Estimate cycles for whichever machine produced `m`: the baseline's
+/// delayed-branch table or the branch-register model. The one
+/// machine→timing-model mapping shared by the cost oracle
+/// (`br-core`), `br-tv`, and the `br-explore` replay engine, so they
+/// can never disagree about which delay rules a machine pays.
+pub fn machine_cycles(machine: br_isa::Machine, m: &Measurements, stages: u32) -> CycleEstimate {
+    match machine {
+        br_isa::Machine::Baseline => cycles(BranchScheme::Delayed, m, stages),
+        br_isa::Machine::BranchReg => br_machine_cycles(m, stages),
+    }
+}
+
+/// Replay one recorded run's measurements across a range of pipeline
+/// depths. Every estimate is a pure function of `m`, so a depth sweep
+/// needs no re-emulation — this is the pipeline half of the
+/// record-once / replay-many contract (the icache half is
+/// `br_icache::replay`).
+pub fn depth_sweep(
+    machine: br_isa::Machine,
+    m: &Measurements,
+    depths: std::ops::RangeInclusive<u32>,
+) -> Vec<(u32, CycleEstimate)> {
+    depths
+        .map(|stages| (stages, machine_cycles(machine, m, stages)))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -206,5 +233,43 @@ mod tests {
     fn wrong_scheme_panics() {
         let m = Measurements::new();
         let _ = cycles(BranchScheme::BranchRegisters, &m, 3);
+    }
+
+    #[test]
+    fn machine_cycles_picks_the_right_model() {
+        let mut m = Measurements::new();
+        m.instructions = 1000;
+        m.cond_transfers = 80;
+        m.uncond_transfers = 20;
+        m.transfers = 100;
+        m.transfer_dist[0] = 100;
+        assert_eq!(
+            machine_cycles(br_isa::Machine::Baseline, &m, 3),
+            cycles(BranchScheme::Delayed, &m, 3)
+        );
+        assert_eq!(
+            machine_cycles(br_isa::Machine::BranchReg, &m, 3),
+            br_machine_cycles(&m, 3)
+        );
+    }
+
+    #[test]
+    fn depth_sweep_covers_every_depth_in_order() {
+        let mut m = Measurements::new();
+        m.instructions = 500;
+        m.cond_transfers = 40;
+        m.transfers = 40;
+        m.transfer_dist[1] = 40;
+        m.cond_transfer_dist[1] = 40;
+        let sweep = depth_sweep(br_isa::Machine::BranchReg, &m, 2..=8);
+        assert_eq!(sweep.len(), 7);
+        for (i, (stages, est)) in sweep.iter().enumerate() {
+            assert_eq!(*stages, 2 + i as u32);
+            assert_eq!(est, &br_machine_cycles(&m, *stages));
+        }
+        // Deeper pipelines can only cost more for the same measurements.
+        for w in sweep.windows(2) {
+            assert!(w[1].1.total >= w[0].1.total);
+        }
     }
 }

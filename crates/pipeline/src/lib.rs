@@ -20,8 +20,8 @@ pub mod delays;
 pub mod trace;
 
 pub use delays::{
-    br_machine_cycles, cond_delay, cycles, prefetch_stall, uncond_delay, BranchScheme,
-    CycleEstimate,
+    br_machine_cycles, cond_delay, cycles, depth_sweep, machine_cycles, prefetch_stall,
+    uncond_delay, BranchScheme, CycleEstimate,
 };
 pub use trace::{cond_trace, uncond_trace, PipelineTrace};
 

@@ -1,0 +1,123 @@
+//! Replay-equivalence property tests for the record-once /
+//! replay-many evaluation path (`br_emu::FetchTrace` +
+//! `br_icache::replay` + `br_pipeline::depth_sweep`) over seeded
+//! torture modules — randomly generated programs with nested branches,
+//! switch tables, and call DAGs, on both machines.
+//!
+//! The contract `br-explore` stands on: replaying one recorded trace
+//! through a cache geometry must be **byte-identical** to wiring a live
+//! `ICacheSim` hook into the emulation — every `CacheStats` field, for
+//! every geometry, and the recorded measurements must price every
+//! pipeline depth identically to the live run's. Recording itself must
+//! be execution-tier-invariant.
+
+use br_emu::{Emulator, ExecTier, FetchTrace};
+use br_icache::{replay, CacheConfig, ICacheSim};
+use br_isa::{Machine, Program};
+use br_pipeline::depth_sweep;
+use br_torture::{gen::GenConfig, generate, iter_seed, render};
+
+const SEEDS: u64 = 8;
+const FUEL: u64 = 20_000_000;
+
+/// Six cache geometries spanning the axes `br-explore` sweeps:
+/// associativity 1/2/4, line size 4/8 words, a small-capacity point,
+/// and a prefetch ablation.
+fn geometries() -> [CacheConfig; 6] {
+    [
+        CacheConfig::default(),
+        CacheConfig {
+            sets: 128,
+            assoc: 1,
+            ..CacheConfig::default()
+        },
+        CacheConfig {
+            sets: 32,
+            assoc: 4,
+            ..CacheConfig::default()
+        },
+        CacheConfig {
+            line_words: 8,
+            ..CacheConfig::default()
+        },
+        CacheConfig {
+            sets: 16,
+            prefetch_queue: 2,
+            ..CacheConfig::default()
+        },
+        CacheConfig {
+            prefetch: false,
+            ..CacheConfig::default()
+        },
+    ]
+}
+
+fn compile(src: &str, machine: Machine) -> Program {
+    let module = br_frontend::compile(src).expect("frontend");
+    br_codegen::compile_module(&module, machine, Default::default(), Default::default())
+        .expect("codegen")
+        .asm
+        .assemble()
+        .expect("assemble")
+}
+
+fn seeded_sources() -> Vec<(u64, String)> {
+    (0..SEEDS)
+        .map(|i| {
+            let s = iter_seed(0x4E71, i);
+            (s, render(&generate(s, GenConfig::default())))
+        })
+        .collect()
+}
+
+#[test]
+fn replay_is_byte_identical_to_live_hooks_everywhere() {
+    for (seed, src) in seeded_sources() {
+        for machine in [Machine::Baseline, Machine::BranchReg] {
+            let prog = compile(&src, machine);
+            let (_, trace) =
+                FetchTrace::record(&prog, FUEL, ExecTier::Interp).expect("clean recording");
+            for cfg in geometries() {
+                // Live: the hook simulates the cache during emulation.
+                let mut sim = ICacheSim::new(cfg);
+                let mut emu = Emulator::new(&prog);
+                emu.run_with_hook(FUEL, &mut sim).expect("clean run");
+
+                // Replayed: the same geometry driven from the trace.
+                let replayed = replay(cfg, &trace).expect("valid geometry");
+                assert_eq!(
+                    &replayed,
+                    sim.stats(),
+                    "seed {seed:#x} {machine:?} {cfg:?}: replayed stats diverged"
+                );
+
+                // The recorded measurements price every pipeline depth
+                // exactly as the live run's do.
+                assert_eq!(
+                    depth_sweep(machine, trace.measurements(), 2..=8),
+                    depth_sweep(machine, emu.measurements(), 2..=8),
+                    "seed {seed:#x} {machine:?}: cycle estimates diverged"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn recording_is_execution_tier_invariant() {
+    for (seed, src) in seeded_sources() {
+        for machine in [Machine::Baseline, Machine::BranchReg] {
+            let prog = compile(&src, machine);
+            let (exit, interp) =
+                FetchTrace::record(&prog, FUEL, ExecTier::Interp).expect("clean recording");
+            for tier in [ExecTier::Threaded, ExecTier::Traced] {
+                let (e, t) = FetchTrace::record(&prog, FUEL, tier).expect("clean recording");
+                assert_eq!(exit, e, "seed {seed:#x} {machine:?} {tier:?}: exit code");
+                assert_eq!(
+                    interp, t,
+                    "seed {seed:#x} {machine:?} {tier:?}: packed trace diverged across tiers"
+                );
+            }
+        }
+    }
+}

@@ -32,6 +32,7 @@ cargo test -q --workspace
 echo "==> observability & timing-model cross-checks (named, for log visibility)"
 cargo test -q --test profile_equivalence --test trace_hook_cap \
     --test icache_properties --test pipeline_crosscheck
+cargo test -q -p br-torture --test replay_properties
 
 echo "==> torture smoke run (seed 42, 200 iterations, verify gates + tv oracle on, 4 jobs, 60s/case budget)"
 cargo run --release -p br-torture -- --seed 42 --iters 200 --verify --tv --jobs 4 --budget-ms 60000
@@ -55,6 +56,13 @@ cargo run --release -p br-obs --bin br-prof -- --jobs 4 --check-coverage
 
 echo "==> translation-validation + static-cost gate (br-tv --check, test scale)"
 cargo run --release -p br-bench --bin br-tv -- --jobs 4 --check --out target/tv_report_ci.json
+
+echo "==> br-explore smoke (small matrix: replayed stats byte-identical to live hooks)"
+cargo run --release -p br-bench --bin br-explore -- --smoke --jobs 4
+
+echo "==> record/replay sweep bench + speedup gate (fail below 10x naive per-point emulation)"
+cargo run --release -p br-bench --bin br-explore -- --bench --jobs 4 \
+    --out target/BENCH_explore_ci.json --check 10
 
 echo "==> br-serve chaos smoke (real daemon, ephemeral port, panic isolation, graceful drain)"
 cargo build --release -p br-serve
@@ -86,7 +94,8 @@ echo "==> results goldens (txt + profile JSON) regenerate byte-identical"
 regen_dir="target/results_regen"
 rm -rf "$regen_dir"
 sh scripts/regen_results.sh "$regen_dir"
-for f in results/*.txt results/profile_suite.json results/tv_report.json; do
+for f in results/*.txt results/profile_suite.json results/tv_report.json \
+         results/explore_pareto.json; do
     if ! diff -u "$f" "$regen_dir/$(basename "$f")"; then
         echo "GOLDEN DRIFT: $f no longer regenerates byte-identical"
         exit 1
