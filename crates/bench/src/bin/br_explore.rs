@@ -204,7 +204,12 @@ fn mix(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
-fn lower_suite(scale: Scale) -> Result<Suite, String> {
+/// Lower the MiniC suite (and, for the design-space sweep, the
+/// translated RV32I workloads) into IR modules. `--section9` and the
+/// `--bench`/`--smoke` modes keep `include_rv32` off: the legacy
+/// `br_sweep.txt` report and the recorded bench baselines predate the
+/// translator and stay byte-comparable.
+fn lower_suite(scale: Scale, include_rv32: bool) -> Result<Suite, String> {
     let mut names = Vec::new();
     let mut modules = Vec::new();
     let mut content_fp = 0u64;
@@ -214,6 +219,15 @@ fn lower_suite(scale: Scale) -> Result<Suite, String> {
         content_fp ^= mix(module.fingerprint().wrapping_add(i as u64));
         names.push(w.name);
         modules.push(module);
+    }
+    if include_rv32 {
+        for (name, prog) in br_ingest::workloads::all() {
+            let module =
+                br_ingest::translate(&prog).map_err(|e| format!("{name}: ingest: {e}"))?;
+            content_fp ^= mix(module.fingerprint().wrapping_add(names.len() as u64));
+            names.push(name);
+            modules.push(module);
+        }
     }
     Ok(Suite {
         names,
@@ -422,7 +436,7 @@ fn mark_pareto(points: &mut [Point]) {
 
 fn run_sweep(args: &Args) -> Result<bool, String> {
     let t0 = Instant::now();
-    let su = lower_suite(args.scale)?;
+    let su = lower_suite(args.scale, true)?;
     let mut store = ArtifactStore::default();
 
     // Baseline machine reference: one recording, replayed through the
@@ -655,7 +669,7 @@ fn pareto_json(
 
 fn run_section9(args: &Args) -> Result<bool, String> {
     let scale = args.scale;
-    let su = lower_suite(scale)?;
+    let su = lower_suite(scale, false)?;
     let mut store = ArtifactStore::default();
     let fuel = Experiment::new().fuel;
 
@@ -764,7 +778,7 @@ fn now_unix() -> u64 {
 
 fn run_bench(args: &Args) -> Result<bool, String> {
     let smoke = args.smoke;
-    let su = lower_suite(args.scale)?;
+    let su = lower_suite(args.scale, false)?;
     let mut store = ArtifactStore::default();
     let geoms = bench_geoms(smoke);
     // Both passes share one compiled artifact set (paper BR config).

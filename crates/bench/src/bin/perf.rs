@@ -4,6 +4,7 @@
 //! perf [emu]     [--paper] [--reps N] [--jobs N] [--record seed|current] [--out PATH]
 //! perf compile   [--paper] [--reps N] [--jobs N] [--record seed|current] [--out PATH]
 //!                [--baseline PATH] [--check RATIO]
+//! perf micro     [--reps N]
 //! ```
 //!
 //! **emu** (the default) times the emulation hot path over the 19-program
@@ -27,6 +28,12 @@
 //! verify-off measurement against the tracked baseline file and exits
 //! nonzero when throughput fell below `RATIO ×` the recorded value — the
 //! CI regression gate.
+//!
+//! **micro** runs a single tight-loop kernel (no workload suite) once
+//! per [`ExecTier`] on both machines and prints best-of-reps
+//! instructions/second per tier. It is a wall-clock probe for
+//! optimization work on the dispatch engines; it never writes a tracker
+//! file and is not run in CI.
 //!
 //! For both modes `--record seed` stamps the measurements into the
 //! `"seed"` section of the JSON (done once, on the pre-optimization
@@ -57,6 +64,7 @@ struct Args {
 enum Mode {
     Emu,
     Compile,
+    Micro,
 }
 
 fn parse_args() -> Args {
@@ -75,6 +83,7 @@ fn parse_args() -> Args {
         match a.as_str() {
             "emu" => args.mode = Mode::Emu,
             "compile" => args.mode = Mode::Compile,
+            "micro" => args.mode = Mode::Micro,
             // Shared flags, parsed by the br-bench helpers above.
             "--paper" => {}
             "--jobs" => {
@@ -354,6 +363,62 @@ fn run_emu(args: &Args) {
     );
 }
 
+// -------------------------------------------------------------- micro --
+
+/// A dense nested loop with data-dependent branches: the kernel the
+/// dispatch engines are tuned against. Promoted from an `#[ignore]`d
+/// integration test so it is reachable as `perf micro` instead of a
+/// `--ignored --nocapture` incantation.
+const MICRO_SRC: &str = r#"
+int a[64];
+int main() {
+    int i; int j; int s;
+    s = 0;
+    for (i = 0; i < 20000; i = i + 1) {
+        for (j = 0; j < 64; j = j + 1) {
+            s = s + a[j] + i - j;
+            if (s > 100000000) s = s - 100000000;
+        }
+        a[i - (i / 64) * 64] = s;
+    }
+    return s;
+}
+"#;
+
+fn run_micro(args: &Args) {
+    let exp = Experiment::new();
+    println!(
+        "micro kernel tier throughput, best of {} reps (wall clock; no tracker written)",
+        args.reps
+    );
+    for machine in [Machine::Baseline, Machine::BranchReg] {
+        let (prog, _) = exp.compile(MICRO_SRC, machine).expect("micro kernel compiles");
+        // Interleave tier reps so CPU-contention drift on a shared box
+        // biases every tier equally instead of whichever ran last.
+        let mut best = [f64::MIN; 3];
+        let mut insts = 0;
+        for _ in 0..args.reps {
+            for (t, tier) in ExecTier::ALL.into_iter().enumerate() {
+                let mut emu = Emulator::new(&prog).with_tier(tier);
+                let t0 = Instant::now();
+                emu.run(FUEL).expect("micro kernel runs");
+                let dt = t0.elapsed().as_secs_f64();
+                insts = emu.measurements().instructions;
+                best[t] = best[t].max(insts as f64 / dt);
+            }
+        }
+        for (t, tier) in ExecTier::ALL.into_iter().enumerate() {
+            println!(
+                "  {:<12} {:<8}: {:>9} insts, {:>12} insts/sec",
+                machine.to_string(),
+                tier.name(),
+                insts,
+                human(best[t] as u64)
+            );
+        }
+    }
+}
+
 // ------------------------------------------------------------ compile --
 
 /// One cold compilation pass over the whole suite on both machines:
@@ -494,5 +559,6 @@ fn main() {
     match args.mode {
         Mode::Emu => run_emu(&args),
         Mode::Compile => run_compile(&args),
+        Mode::Micro => run_micro(&args),
     }
 }

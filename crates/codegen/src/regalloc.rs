@@ -347,10 +347,18 @@ pub fn allocate(
     target: &TargetSpec,
     depth: &[u32],
 ) -> Result<Allocation, CodegenError> {
+    // Vregs created by `rewrite_spills` (>= the entry count) are reload/
+    // store temps with minimal live ranges. Re-spilling one produces an
+    // identically-shaped temp the next round chooses again — an infinite
+    // spill loop under sustained pressure (dozens of simultaneously live
+    // values, as translated foreign code produces). They are excluded
+    // from spill-candidate selection so rounds always spill an original
+    // range and make real progress.
+    let no_spill_from = f.classes.len() as VR;
     for _ in 0..MAX_ROUNDS {
         let lv = compute_liveness(f);
         let g = build_graph(f, &lv, depth);
-        match try_color(f, target, &g) {
+        match try_color(f, target, &g, no_spill_from) {
             Ok(alloc) => return Ok(alloc),
             Err(spills) => rewrite_spills(f, &spills),
         }
@@ -362,7 +370,12 @@ pub fn allocate(
 }
 
 /// Attempt to color; on failure return the set of vregs to spill.
-fn try_color(f: &VFunc, target: &TargetSpec, g: &Graph) -> Result<Allocation, Vec<VR>> {
+fn try_color(
+    f: &VFunc,
+    target: &TargetSpec,
+    g: &Graph,
+    no_spill_from: VR,
+) -> Result<Allocation, Vec<VR>> {
     let n = f.classes.len();
     // Preference-ordered color pools, one per (class, across-call)
     // combination, materialized once per coloring attempt instead of a
@@ -408,20 +421,26 @@ fn try_color(f: &VFunc, target: &TargetSpec, g: &Graph) -> Result<Allocation, Ve
                 break;
             }
         }
-        // Otherwise pick the cheapest spill candidate.
+        // Otherwise pick the cheapest spill candidate. Spill temps
+        // (vregs >= `no_spill_from`) are passed over while any original
+        // range remains: spilling them again cannot reduce pressure.
         if picked.is_none() {
             let mut best: Option<(f64, VR)> = None;
+            let mut best_any: Option<(f64, VR)> = None;
             for v in 0..n as VR {
                 if removed[v as usize] {
                     continue;
                 }
                 let d = degree[v as usize].max(1) as f64;
                 let score = g.cost[v as usize] as f64 / d;
-                if best.map(|(s, _)| score < s).unwrap_or(true) {
+                if best_any.map(|(s, _)| score < s).unwrap_or(true) {
+                    best_any = Some((score, v));
+                }
+                if v < no_spill_from && best.map(|(s, _)| score < s).unwrap_or(true) {
                     best = Some((score, v));
                 }
             }
-            picked = best.map(|(_, v)| (v, true));
+            picked = best.or(best_any).map(|(_, v)| (v, true));
         }
         let (v, may_spill) = picked.expect("nonempty");
         removed[v as usize] = true;

@@ -28,6 +28,7 @@ pub use br_codegen::{
 pub use br_emu::{EmuError, FetchRecorder, FetchTrace, Measurements, TraceEvent};
 pub use br_frontend::CompileError as FrontendError;
 pub use br_icache::{replay, CacheConfig, CacheConfigError, CacheStats, ICacheSim};
+pub use br_ingest::{IngestError, Rv32Program};
 pub use br_isa::{Machine, Program};
 pub use br_pipeline as pipeline;
 pub use br_verify::VerifyError;
@@ -47,6 +48,9 @@ pub enum CompileError {
     Verify(VerifyError),
     /// Assembler error (encoding, relocation, layout).
     Asm(String),
+    /// Foreign-ISA ingest error (RV32 image rejected by `br-ingest`) —
+    /// a user error in the supplied image, like [`CompileError::Frontend`].
+    Ingest(br_ingest::IngestError),
     /// The caller's compile deadline expired between pipeline stages
     /// (see [`Experiment::compile_module_budgeted`]). Always a resource
     /// decision, never a defect: the same input compiles fine with a
@@ -64,6 +68,7 @@ impl fmt::Display for CompileError {
             CompileError::Codegen(e) => write!(f, "codegen: {e}"),
             CompileError::Verify(e) => write!(f, "verify: {e}"),
             CompileError::Asm(e) => write!(f, "assembler: {e}"),
+            CompileError::Ingest(e) => write!(f, "ingest: {e}"),
             CompileError::Deadline { elapsed_ms } => {
                 write!(f, "compile deadline exceeded after {elapsed_ms} ms")
             }
@@ -88,6 +93,12 @@ impl From<CodegenError> for CompileError {
 impl From<VerifyError> for CompileError {
     fn from(e: VerifyError) -> CompileError {
         CompileError::Verify(e)
+    }
+}
+
+impl From<br_ingest::IngestError> for CompileError {
+    fn from(e: br_ingest::IngestError) -> CompileError {
+        CompileError::Ingest(e)
     }
 }
 
@@ -596,6 +607,63 @@ impl Experiment {
         })
     }
 
+    /// Translate a foreign RV32I image into an IR module ready for
+    /// either machine's pipeline (see `br-ingest` and INGEST.md).
+    ///
+    /// # Errors
+    ///
+    /// [`CompileError::Ingest`] when the image is rejected (truncated,
+    /// bad entry, illegal or unsupported instruction words).
+    pub fn ingest_rv32(&self, prog: &br_ingest::Rv32Program) -> Result<br_ir::Module, Error> {
+        let module = br_ingest::translate(prog).map_err(CompileError::Ingest)?;
+        Ok(module)
+    }
+
+    /// Translate an RV32I image and run it on one machine.
+    ///
+    /// # Errors
+    ///
+    /// Any ingest or pipeline error.
+    pub fn run_rv32(
+        &self,
+        prog: &br_ingest::Rv32Program,
+        machine: Machine,
+    ) -> Result<RunResult, Error> {
+        let module = self.ingest_rv32(prog)?;
+        self.run_module(&module, machine)
+    }
+
+    /// Translate an RV32I image and run it on both machines, checking
+    /// that they agree (the translated analogue of [`run_comparison`]).
+    ///
+    /// [`run_comparison`]: Experiment::run_comparison
+    ///
+    /// # Errors
+    ///
+    /// Any ingest or pipeline error, or [`Error::Mismatch`] when the
+    /// machines disagree.
+    pub fn run_rv32_comparison(
+        &self,
+        name: &str,
+        prog: &br_ingest::Rv32Program,
+    ) -> Result<ProgramComparison, Error> {
+        let module = self.ingest_rv32(prog)?;
+        let baseline = self.run_module(&module, Machine::Baseline)?;
+        let brmach = self.run_module(&module, Machine::BranchReg)?;
+        if baseline.exit != brmach.exit {
+            return Err(Error::Mismatch {
+                name: name.to_string(),
+                baseline: baseline.exit,
+                brmach: brmach.exit,
+            });
+        }
+        Ok(ProgramComparison {
+            name: name.to_string(),
+            baseline,
+            brmach,
+        })
+    }
+
     /// Run the full Appendix I suite at `scale`, serially.
     ///
     /// # Errors
@@ -925,6 +993,8 @@ mod tests {
         assert_eq!(deadline.to_string(), "compile deadline exceeded after 41 ms");
         let asm = CompileError::Asm("duplicate label".into());
         assert_eq!(asm.to_string(), "assembler: duplicate label");
+        let ingest = CompileError::Ingest(br_ingest::IngestError::EmptyText);
+        assert_eq!(ingest.to_string(), "ingest: rv32 image has no text words");
         let mismatch = Error::Mismatch {
             name: "wc".into(),
             baseline: 3,
@@ -941,5 +1011,34 @@ mod tests {
         // Sanity: identical programs cannot mismatch.
         let ok = Experiment::new().run_comparison("x", "int main() { return 3; }");
         assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn rv32_ingest_runs_on_both_machines() {
+        use br_ingest::rv32::{asm::*, encode};
+        // a0 = (7 << 3) - 2 = 54.
+        let words = [addi(10, 0, 7), slli(10, 10, 3), addi(10, 10, -2), ecall()]
+            .into_iter()
+            .map(encode)
+            .collect();
+        let prog = br_ingest::Rv32Program::new(words);
+        let cmp = Experiment::new().run_rv32_comparison("rv32/smoke", &prog).unwrap();
+        assert_eq!(cmp.baseline.exit, 54);
+        assert_eq!(cmp.brmach.exit, 54);
+        // The translated binary really is branchy enough to differ
+        // between machines only in cost, not in result.
+        assert!(cmp.baseline.meas.instructions > 0);
+    }
+
+    #[test]
+    fn rv32_ingest_rejects_bad_images_typed() {
+        let prog = br_ingest::Rv32Program::new(vec![0xffff_ffff]);
+        match Experiment::new().run_rv32(&prog, Machine::Baseline) {
+            Err(Error::Compile(CompileError::Ingest(br_ingest::IngestError::BadWord {
+                pc: 0x1000,
+                ..
+            }))) => {}
+            other => panic!("expected typed BadWord, got {other:?}"),
+        }
     }
 }

@@ -132,6 +132,49 @@ impl FuncBuilder {
         dst
     }
 
+    /// Materialise a comparison result as 0/1 in a fresh register via a
+    /// branch diamond, leaving the builder positioned in the join block.
+    ///
+    /// The MiniC frontend lowers relational expressions through its own
+    /// control-flow machinery, but non-MiniC producers (e.g. the RV32
+    /// ingest translator's `slt`/`sltu` family) need a reusable entry
+    /// point at the builder level.  Signed comparison only, mirroring
+    /// [`crate::inst::Cond`]; callers encode unsigned compares by biasing
+    /// both operands with `i32::MIN` first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the current block is already terminated.
+    pub fn cmp_set(&mut self, cond: crate::inst::Cond, a: Operand, b: Operand) -> VReg {
+        assert!(!self.sealed, "cmp_set in a terminated block");
+        let dst = self.new_vreg(RegClass::Int);
+        let then_bb = self.new_block();
+        let else_bb = self.new_block();
+        let join = self.new_block();
+        self.terminate(Inst::Branch {
+            cond,
+            a,
+            b,
+            float: false,
+            then_bb,
+            else_bb,
+        });
+        self.switch_to(then_bb);
+        self.push(Inst::Copy {
+            dst,
+            a: Operand::Const(1),
+        });
+        self.terminate(Inst::Jump(join));
+        self.switch_to(else_bb);
+        self.push(Inst::Copy {
+            dst,
+            a: Operand::Const(0),
+        });
+        self.terminate(Inst::Jump(join));
+        self.switch_to(join);
+        dst
+    }
+
     /// Finish construction: seal any fall-through block with `ret` (void
     /// functions) and validate.
     ///
@@ -229,6 +272,23 @@ mod tests {
         assert_eq!(f.class_of(f.params[0].0), RegClass::Int);
         assert_eq!(f.class_of(f.params[1].0), RegClass::Float);
         assert_eq!(f.class_of(f.params[2].0), RegClass::Int);
+    }
+
+    #[test]
+    fn cmp_set_builds_a_materialised_diamond() {
+        let mut b = FuncBuilder::new("lt", Ty::Int, vec![Ty::Int, Ty::Int]);
+        let (x, y) = (b.param(0), b.param(1));
+        let r = b.cmp_set(Cond::Lt, Operand::Reg(x), Operand::Reg(y));
+        b.terminate(Inst::Ret(Some(Operand::Reg(r))));
+        let f = b.finish();
+        assert_eq!(f.validate(), Ok(()));
+        // Diamond adds three blocks; the interpreter sees 0/1 results.
+        assert_eq!(f.blocks.len(), 4);
+        let mut m = crate::Module::new();
+        m.add_function(f);
+        let lt = crate::interp::Interpreter::new(&m).run("lt", &[5, 9]).unwrap();
+        let ge = crate::interp::Interpreter::new(&m).run("lt", &[9, 5]).unwrap();
+        assert_eq!((lt, ge), (1, 0));
     }
 
     #[test]

@@ -103,6 +103,8 @@ pub enum AsmError {
     BadReloc { func: String, index: usize },
     /// No `main` function was provided.
     NoMain,
+    /// The assembled image failed structural validation.
+    Image(crate::program::ImageError),
 }
 
 impl fmt::Display for AsmError {
@@ -116,6 +118,7 @@ impl fmt::Display for AsmError {
                 write!(f, "in {func} at item {index}: relocation cannot patch instruction")
             }
             AsmError::NoMain => write!(f, "program has no 'main' function"),
+            AsmError::Image(e) => write!(f, "invalid image: {e}"),
         }
     }
 }
@@ -248,7 +251,7 @@ impl AsmProgram {
             }
         }
 
-        Ok(Program {
+        let program = Program {
             machine: self.machine,
             code,
             text,
@@ -256,7 +259,9 @@ impl AsmProgram {
             entry: abi::TEXT_BASE,
             symbols,
             blocks,
-        })
+        };
+        program.validate_image().map_err(AsmError::Image)?;
+        Ok(program)
     }
 
     fn resolve(
@@ -419,6 +424,22 @@ mod tests {
             assert!(prog.symbol("main").unwrap() > abi::TEXT_BASE);
             assert_eq!(prog.code.len(), prog.text.len());
             assert!(prog.static_inst_count() >= 4);
+        }
+    }
+
+    #[test]
+    fn out_of_range_raw_branch_is_rejected_at_assembly() {
+        // A hand-written `ba` with no relocation escapes the label
+        // machinery entirely; image validation must still catch it.
+        let mut p = AsmProgram::new(Machine::Baseline);
+        let mut f = ret42(Machine::Baseline);
+        f.items.insert(0, AsmItem::Inst(MInst::Ba { disp: 1000 }, None));
+        p.funcs.push(f);
+        match p.assemble() {
+            Err(AsmError::Image(crate::program::ImageError::BranchTargetOutOfRange {
+                ..
+            })) => {}
+            other => panic!("expected image error, got {other:?}"),
         }
     }
 

@@ -42,7 +42,7 @@ pub mod program;
 pub use asm::{AsmFunc, AsmItem, AsmProgram, DataItem, Label, Reloc, SymRef, FRESH_LABEL_BASE};
 pub use encode::{decode, encode, EncodeError};
 pub use minst::{AluOp, BReg, Cc, FReg, FpuOp, MInst, MemWidth, Reg, Src2};
-pub use program::{BlockMark, Program, TextWord};
+pub use program::{BlockMark, ImageError, Program, TextWord};
 
 use std::fmt;
 

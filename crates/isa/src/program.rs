@@ -1,9 +1,81 @@
 //! Loadable program images produced by the assembler.
 
 use std::collections::HashMap;
+use std::fmt;
 
 use crate::minst::MInst;
 use crate::{abi, Machine};
+
+/// Why a program image fails structural validation.
+///
+/// These are loader-grade checks: every image the assembler emits must
+/// pass, and any image an emulator or profiler is handed should be run
+/// through [`Program::validate_image`] first so corruption surfaces as a
+/// typed error here rather than as a panic (or silent misattribution)
+/// deeper in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ImageError {
+    /// `code` and `text` are not parallel — the image was truncated or
+    /// corrupted after assembly.
+    TruncatedText {
+        /// Encoded words present.
+        code: usize,
+        /// Decoded words present.
+        text: usize,
+    },
+    /// The entry address is not word-aligned.
+    UnalignedEntry { entry: u32 },
+    /// The entry address lies outside the text segment.
+    EntryOutOfRange { entry: u32, end: u32 },
+    /// A block mark points past the last text word.
+    BlockMarkOutOfRange {
+        /// `BlockMark::name()` of the offending mark.
+        name: String,
+        /// Its claimed word index.
+        word: u32,
+        /// Text words actually present.
+        words: usize,
+    },
+    /// A pc-relative control transfer targets an address outside text.
+    BranchTargetOutOfRange {
+        /// Address of the branch instruction.
+        addr: u32,
+        /// Where it would transfer to.
+        target: i64,
+        /// End of the text segment.
+        end: u32,
+    },
+}
+
+impl fmt::Display for ImageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImageError::TruncatedText { code, text } => write!(
+                f,
+                "image truncated: {code} encoded words but {text} decoded words"
+            ),
+            ImageError::UnalignedEntry { entry } => {
+                write!(f, "entry address {entry:#x} is not 4-byte aligned")
+            }
+            ImageError::EntryOutOfRange { entry, end } => write!(
+                f,
+                "entry address {entry:#x} is outside the text segment [{:#x}, {end:#x})",
+                abi::TEXT_BASE
+            ),
+            ImageError::BlockMarkOutOfRange { name, word, words } => write!(
+                f,
+                "block mark `{name}` claims word {word} but the image has {words} text words"
+            ),
+            ImageError::BranchTargetOutOfRange { addr, target, end } => write!(
+                f,
+                "branch at {addr:#x} targets {target:#x}, outside the text segment [{:#x}, {end:#x})",
+                abi::TEXT_BASE
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ImageError {}
 
 /// One word of the text segment: an instruction or embedded data
 /// (jump tables live in text, as in the paper's indirect-jump example).
@@ -104,6 +176,59 @@ impl Program {
         self.blocks[..n].last()
     }
 
+    /// Structurally validate the image: parallel `code`/`text`, aligned
+    /// in-range entry, in-range block marks, and every pc-relative
+    /// control transfer landing inside the text segment.
+    ///
+    /// Indirect transfers (`jmpl`, branch-register jumps) are runtime
+    /// properties and are checked by the emulator, not here.
+    ///
+    /// # Errors
+    ///
+    /// The first [`ImageError`] found, scanning header then marks then
+    /// text in address order.
+    pub fn validate_image(&self) -> Result<(), ImageError> {
+        if self.code.len() != self.text.len() {
+            return Err(ImageError::TruncatedText {
+                code: self.code.len(),
+                text: self.text.len(),
+            });
+        }
+        let end = self.text_end();
+        if !self.entry.is_multiple_of(4) {
+            return Err(ImageError::UnalignedEntry { entry: self.entry });
+        }
+        if self.entry < abi::TEXT_BASE || self.entry >= end {
+            return Err(ImageError::EntryOutOfRange { entry: self.entry, end });
+        }
+        for b in &self.blocks {
+            if b.word as usize >= self.text.len() {
+                return Err(ImageError::BlockMarkOutOfRange {
+                    name: b.name(),
+                    word: b.word,
+                    words: self.text.len(),
+                });
+            }
+        }
+        for (i, w) in self.text.iter().enumerate() {
+            let addr = abi::TEXT_BASE + 4 * i as u32;
+            let disp = match w {
+                TextWord::Inst(
+                    MInst::Bcc { disp, .. }
+                    | MInst::Ba { disp }
+                    | MInst::Call { disp }
+                    | MInst::Bcalc { disp, .. },
+                ) => *disp,
+                _ => continue,
+            };
+            let target = addr as i64 + 4 * disp as i64;
+            if target < abi::TEXT_BASE as i64 || target >= end as i64 {
+                return Err(ImageError::BranchTargetOutOfRange { addr, target, end });
+            }
+        }
+        Ok(())
+    }
+
     /// Number of static instructions (excluding embedded data words).
     pub fn static_inst_count(&self) -> usize {
         self.text
@@ -185,6 +310,101 @@ mod tests {
         p.text.push(TextWord::Data(0x1234));
         p.code.push(0x1234);
         assert_eq!(p.static_inst_count(), 1);
+    }
+
+    #[test]
+    fn validate_accepts_a_well_formed_image() {
+        assert_eq!(tiny().validate_image(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_truncated_text() {
+        let mut p = tiny();
+        p.code.push(0); // encoded word with no decoded counterpart
+        assert_eq!(
+            p.validate_image(),
+            Err(ImageError::TruncatedText { code: 2, text: 1 })
+        );
+        let msg = p.validate_image().unwrap_err().to_string();
+        assert!(msg.contains("truncated"), "{msg}");
+    }
+
+    #[test]
+    fn validate_rejects_unaligned_entry() {
+        let mut p = tiny();
+        p.entry = abi::TEXT_BASE + 2;
+        assert_eq!(
+            p.validate_image(),
+            Err(ImageError::UnalignedEntry { entry: abi::TEXT_BASE + 2 })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_entry() {
+        let mut p = tiny();
+        p.entry = p.text_end(); // one past the last word
+        assert!(matches!(
+            p.validate_image(),
+            Err(ImageError::EntryOutOfRange { .. })
+        ));
+        p.entry = abi::TEXT_BASE - 4;
+        assert!(matches!(
+            p.validate_image(),
+            Err(ImageError::EntryOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_block_mark_past_text() {
+        let mut p = tiny();
+        p.blocks.push(BlockMark {
+            word: 1,
+            func: "ghost".to_string(),
+            label: Some(3),
+        });
+        let err = p.validate_image().unwrap_err();
+        assert_eq!(
+            err,
+            ImageError::BlockMarkOutOfRange {
+                name: "ghost.L3".to_string(),
+                word: 1,
+                words: 1,
+            }
+        );
+        assert!(err.to_string().contains("ghost.L3"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_branch_targets() {
+        // Forward past the end, and backward before the base — for each
+        // pc-relative transfer kind.
+        for inst in [
+            MInst::Ba { disp: 99 },
+            MInst::Ba { disp: -99 },
+            MInst::Call { disp: 1000 },
+            MInst::Bcc {
+                cc: crate::minst::Cc::Eq,
+                float: false,
+                disp: -1000,
+            },
+        ] {
+            let mut p = tiny();
+            p.text.insert(0, TextWord::Inst(inst));
+            p.code.insert(0, 0);
+            assert!(
+                matches!(
+                    p.validate_image(),
+                    Err(ImageError::BranchTargetOutOfRange { .. })
+                ),
+                "{inst:?} should be rejected"
+            );
+        }
+        // An embedded data word is never a branch, whatever its bits.
+        let mut p = tiny();
+        p.text.insert(0, TextWord::Data(0xFFFF_FFFF));
+        p.code.insert(0, 0xFFFF_FFFF);
+        p.entry = abi::TEXT_BASE + 4;
+        assert_eq!(p.validate_image(), Ok(()));
     }
 
     #[test]

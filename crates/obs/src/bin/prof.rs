@@ -141,14 +141,20 @@ fn real_main() -> Result<bool, String> {
 
     // Lower everything up front (the front end is fast and machine-
     // independent), then append the IR-level coverage kernel — the one
-    // program MiniC cannot express (`srl`).
-    let mut modules: Vec<(String, br_ir::Module)> = Vec::with_capacity(sources.len() + 1);
+    // program MiniC cannot express (`srl`) — and the translated RV32I
+    // workloads, which enter the pipeline as foreign-ISA modules.
+    let mut modules: Vec<(String, br_ir::Module)> = Vec::with_capacity(sources.len() + 4);
     for (name, src) in &sources {
         let module =
             br_frontend::compile(src).map_err(|e| format!("{name}: frontend: {e}"))?;
         modules.push((name.clone(), module));
     }
     modules.push(("kernel/alu_coverage".to_string(), br_obs::coverage_kernel()));
+    for (name, prog) in br_ingest::workloads::all() {
+        let module = br_ingest::translate(&prog)
+            .map_err(|e| format!("{name}: ingest: {e}"))?;
+        modules.push((name.to_string(), module));
+    }
 
     let results = parallel::map_ordered(&modules, args.jobs, |_, (name, module)| {
         profile_one(&exp, name, module)

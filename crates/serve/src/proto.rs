@@ -200,6 +200,9 @@ impl ErrorKind {
 pub fn classify(err: &Error) -> ErrorKind {
     match err {
         Error::Compile(CompileError::Frontend(_)) => ErrorKind::Frontend,
+        // Foreign-ISA ingest rejections are user errors in the supplied
+        // image — same client semantics as a frontend error (don't retry).
+        Error::Compile(CompileError::Ingest(_)) => ErrorKind::Frontend,
         Error::Compile(CompileError::Codegen(_)) => ErrorKind::Codegen,
         Error::Compile(CompileError::Verify(_)) => ErrorKind::Verify,
         Error::Compile(CompileError::Asm(_)) => ErrorKind::Asm,

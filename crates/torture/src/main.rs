@@ -6,6 +6,7 @@
 //! br-torture ... --verify                      also gate every stage with br-verify
 //! br-torture ... --tv                          also cross-check the static translation validator
 //! br-torture ... --tiers                       also cross-check the threaded/traced execution tiers
+//! br-torture --rv32 --seed N --iters M         RV32I ingest fuzz (reference interp vs both machines)
 //! br-torture --demo-fault                      fault-injection demo
 //! br-torture --demo-miscompile                 wrong-code-catch demo
 //! ```
@@ -17,8 +18,9 @@
 use br_emu::{EmuError, Emulator, Fault};
 use br_isa::Machine;
 use br_torture::{
-    check_src_budgeted, check_src_tv, count_stmts, gen::GenConfig, generate, iter_seed,
-    minimize, oracle, render, Agreement, Divergence, DEFAULT_FUEL,
+    check_rv32, check_src_budgeted, check_src_tv, count_stmts, gen::GenConfig, generate,
+    generate_rv32, iter_seed, minimize, minimize_rv32, oracle, render, Agreement, Divergence,
+    DEFAULT_FUEL,
 };
 
 struct Args {
@@ -36,6 +38,10 @@ struct Args {
     tiers: bool,
     /// Per-case wall budget in milliseconds; 0 = unlimited.
     budget_ms: u64,
+    /// Fuzz the RV32I ingest path instead of the MiniC front end:
+    /// generated foreign binaries, checked reference-interpreter vs
+    /// translated-baseline vs translated-BR.
+    rv32: bool,
     demo_fault: bool,
     demo_miscompile: bool,
 }
@@ -50,6 +56,7 @@ fn parse_args() -> Result<Args, String> {
         tv: false,
         tiers: false,
         budget_ms: 0,
+        rv32: false,
         demo_fault: false,
         demo_miscompile: false,
     };
@@ -73,16 +80,20 @@ fn parse_args() -> Result<Args, String> {
             "--tv" => args.tv = true,
             "--tiers" => args.tiers = true,
             "--budget-ms" => args.budget_ms = num("--budget-ms")?,
+            "--rv32" => args.rv32 = true,
             "--demo-fault" => args.demo_fault = true,
             "--demo-miscompile" => args.demo_miscompile = true,
             "--help" | "-h" => {
                 return Err("usage: br-torture [--seed N] [--iters M] [--fuel F] \
                             [--jobs J] [--verify] [--tv] [--tiers] [--budget-ms MS] \
-                            [--demo-fault] [--demo-miscompile]"
+                            [--rv32] [--demo-fault] [--demo-miscompile]"
                     .into())
             }
             other => return Err(format!("unknown argument `{other}` (try --help)")),
         }
+    }
+    if args.rv32 && (args.tv || args.tiers || args.budget_ms > 0) {
+        return Err("--rv32 does not combine with --tv/--tiers/--budget-ms".into());
     }
     Ok(args)
 }
@@ -99,6 +110,8 @@ fn main() {
         demo_fault(args.fuel)
     } else if args.demo_miscompile {
         demo_miscompile(args.seed, args.fuel)
+    } else if args.rv32 {
+        fuzz_rv32(&args)
     } else {
         fuzz(&args)
     };
@@ -208,6 +221,80 @@ fn fuzz(args: &Args) -> i32 {
             args.iters, base_insts, br_insts, stores
         );
     }
+    0
+}
+
+// ------------------------------------------------------------- rv32 fuzz
+
+/// The `--rv32` mode: seeded RV32I binaries through the three-way ingest
+/// oracle (reference interpreter vs translated code on both machines).
+/// Divergences are minimized by NOP-ing out instruction words and
+/// reported as a replayable hex image.
+fn fuzz_rv32(args: &Args) -> i32 {
+    let jobs = if args.jobs == 0 {
+        br_core::parallel::available_jobs()
+    } else {
+        args.jobs
+    };
+    let mut base_insts = 0u64;
+    let mut br_insts = 0u64;
+    let mut stores = 0usize;
+    let block = (jobs as u64 * 16).max(64);
+    let mut start = 0u64;
+    while start < args.iters {
+        let idxs: Vec<u64> = (start..(start + block).min(args.iters)).collect();
+        start += idxs.len() as u64;
+        let results = br_core::parallel::map_ordered(&idxs, jobs, |_, &i| {
+            let s = iter_seed(args.seed, i);
+            let prog = generate_rv32(s);
+            check_rv32(&prog, args.fuel, args.verify).map_err(|d| (s, prog, d))
+        });
+        for (&i, result) in idxs.iter().zip(results) {
+            match result {
+                Ok(a) => {
+                    base_insts += a.base_instructions;
+                    br_insts += a.br_instructions;
+                    stores += a.guest_stores;
+                    if (i + 1) % 200 == 0 {
+                        println!(
+                            "[{}/{}] ok — {} baseline insts, {} br insts, {} guest stores so far",
+                            i + 1,
+                            args.iters,
+                            base_insts,
+                            br_insts,
+                            stores
+                        );
+                    }
+                }
+                Err((s, prog, d)) => {
+                    println!("iteration {i} (seed {s:#x}) DIVERGED: {d}");
+                    println!("minimizing ({} text words)...", prog.words.len());
+                    // Match on the divergence *kind*: NOP-ing a loop's
+                    // decrement can otherwise morph a real failure into
+                    // an uninteresting out-of-fuel witness.
+                    let want = std::mem::discriminant(&d);
+                    let min = minimize_rv32(&prog, |cand| {
+                        check_rv32(cand, args.fuel, args.verify)
+                            .err()
+                            .is_some_and(|e| std::mem::discriminant(&e) == want)
+                    });
+                    let final_d = check_rv32(&min, args.fuel, args.verify)
+                        .expect_err("minimizer preserves failure");
+                    println!("minimized; divergence: {final_d}");
+                    println!("---- minimized reproduction (rv32 hex image) ----");
+                    println!("{}", min.to_hex());
+                    println!(
+                        "replay with: cargo run -p br-torture -- --rv32 --seed {s} --iters 1"
+                    );
+                    return 1;
+                }
+            }
+        }
+    }
+    println!(
+        "{} rv32 iterations, 0 divergences ({} baseline insts, {} br insts, {} guest stores)",
+        args.iters, base_insts, br_insts, stores
+    );
     0
 }
 

@@ -100,6 +100,21 @@ pub enum Divergence {
         /// What differed, rendered human-readable.
         detail: String,
     },
+    /// The RV32 translator rejected a generated image (`--rv32` mode).
+    /// The generator only emits the supported subset, so this is always
+    /// a harness or translator defect, never an expected outcome.
+    Ingest(br_ingest::IngestError),
+    /// An RV32 machine execution's store stream differs from the
+    /// reference interpreter's at position `pos` (`--rv32` mode;
+    /// `None` = that stream ended first). Addresses are guest-relative.
+    RvStoreMismatch {
+        machine: Machine,
+        pos: usize,
+        /// The reference interpreter's event at `pos`.
+        reference: Option<(u32, i32)>,
+        /// The translated machine's event at `pos`.
+        got: Option<(u32, i32)>,
+    },
     /// The per-case wall-clock budget expired (see
     /// [`check_module_budgeted`]). A recorded timeout, not a
     /// correctness verdict: the program may be pathological for the
@@ -171,6 +186,18 @@ impl std::fmt::Display for Divergence {
                 tier,
                 detail,
             } => write!(f, "tier `{tier}` diverged from interpreter ({machine}): {detail}"),
+            Divergence::Ingest(e) => write!(f, "ingest: {e}"),
+            Divergence::RvStoreMismatch {
+                machine,
+                pos,
+                reference,
+                got,
+            } => write!(
+                f,
+                "rv32 store stream ({machine}) diverges from reference at #{pos}: reference {} vs machine {}",
+                store(reference),
+                store(got)
+            ),
             Divergence::Budget {
                 stage,
                 elapsed_ms,
@@ -184,13 +211,13 @@ impl std::fmt::Display for Divergence {
 }
 
 /// Result of one emulated execution.
-struct EmuRun {
-    exit: i32,
-    instructions: u64,
+pub(crate) struct EmuRun {
+    pub(crate) exit: i32,
+    pub(crate) instructions: u64,
     /// Stores into the program's global data region, in retirement order.
-    global_stores: Vec<(u32, i32)>,
+    pub(crate) global_stores: Vec<(u32, i32)>,
     /// Final word values of each named global, in `module.globals` order.
-    globals: Vec<(String, Vec<i32>)>,
+    pub(crate) globals: Vec<(String, Vec<i32>)>,
 }
 
 /// Compile `module` for `machine` all the way to an executable program.
@@ -311,7 +338,11 @@ impl ExecHook for GlobalStores {
     }
 }
 
-fn run_machine(module: &Module, prog: &Program, fuel: u64) -> Result<EmuRun, Divergence> {
+pub(crate) fn run_machine(
+    module: &Module,
+    prog: &Program,
+    fuel: u64,
+) -> Result<EmuRun, Divergence> {
     let machine = prog.machine;
     let mut emu = Emulator::new(prog);
     let mut hook = GlobalStores {
@@ -790,6 +821,19 @@ mod tests {
                     detail: "exit 3 vs 4".into(),
                 },
                 "tier `traced` diverged from interpreter (branch register): exit 3 vs 4",
+            ),
+            (
+                Divergence::Ingest(br_ingest::IngestError::UnalignedEntry { entry: 0x1002 }),
+                "ingest: rv32 entry point 0x1002 is not 4-byte aligned",
+            ),
+            (
+                Divergence::RvStoreMismatch {
+                    machine: Machine::Baseline,
+                    pos: 4,
+                    reference: Some((0x40, -1)),
+                    got: None,
+                },
+                "rv32 store stream (baseline) diverges from reference at #4: reference [0x40] = -1 vs machine stream ended",
             ),
         ];
         for (d, want) in cases {

@@ -6,13 +6,15 @@
 # branch-register machine, with the br-verify stage gates and the
 # static translation-validation oracle enabled), a 500-seed
 # execution-tier differential (interp vs threaded vs traced must be
-# observationally identical), the per-tier emulator perf gate, the
+# observationally identical), the RV32I conformance gate plus a
+# 500-seed foreign-ISA ingest differential (reference interpreter vs
+# both translated machines), the per-tier emulator perf gate, the
 # ISA-coverage gate
 # (br-prof --check-coverage), the br-tv translation-validation +
 # static-cost gate, and the byte-identical golden regeneration all
 # passed. See TORTURE.md for what the torture harness checks,
-# VERIFY.md for the per-stage static invariants, and TV.md for the
-# whole-program layer.
+# VERIFY.md for the per-stage static invariants, TV.md for the
+# whole-program layer, and INGEST.md for the foreign-ISA path.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -42,6 +44,12 @@ cargo run --release -p br-torture -- --demo-fault
 
 echo "==> execution-tier differential smoke (500 seeds: interp vs threaded vs traced)"
 cargo run --release -p br-torture -- --seed 7 --iters 500 --tiers --jobs 4 --budget-ms 60000
+
+echo "==> RV32I conformance gate (every supported encoding executes and agrees three ways)"
+cargo test -q -p br-ingest --test conformance
+
+echo "==> RV32I ingest differential smoke (500 seeds: reference vs baseline vs branch-register)"
+cargo run --release -p br-torture -- --rv32 --seed 11 --iters 500 --jobs 4
 
 echo "==> emulator perf bench + per-tier regression gate (fail below 0.5x recorded)"
 cargo run --release -p br-bench --bin perf -- --reps 2 --out target/BENCH_emulator_ci.json \

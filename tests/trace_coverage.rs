@@ -2,58 +2,15 @@
 //! superblock engine should capture the bulk of dynamic execution
 //! (otherwise the tier silently degrades into the threaded loop plus
 //! dispatch overhead).
+//!
+//! The tight-loop per-tier throughput probe that used to live here as an
+//! `#[ignore]`d test is now `cargo run --release -p br-bench --bin perf
+//! -- micro`.
 
 use br_core::{suite, Experiment, Machine, Scale};
 use br_emu::{Emulator, ExecTier};
 
 const FUEL: u64 = 1_000_000_000;
-
-/// Tight-loop throughput per tier, for optimization work on the
-/// dispatch engines (`--ignored --nocapture`; wall-clock, so not run in
-/// CI).
-#[test]
-#[ignore]
-fn micro_tier_throughput() {
-    let src = r#"
-int a[64];
-int main() {
-    int i; int j; int s;
-    s = 0;
-    for (i = 0; i < 20000; i = i + 1) {
-        for (j = 0; j < 64; j = j + 1) {
-            s = s + a[j] + i - j;
-            if (s > 100000000) s = s - 100000000;
-        }
-        a[i - (i / 64) * 64] = s;
-    }
-    return s;
-}
-"#;
-    let exp = Experiment::new();
-    for machine in [Machine::Baseline, Machine::BranchReg] {
-        let (prog, _) = exp.compile(src, machine).expect("compile");
-        // Interleave tier reps so CPU-contention drift on a shared box
-        // biases every tier equally instead of whichever ran last.
-        let mut best = [f64::MIN; 3];
-        let mut insts = 0;
-        for _ in 0..9 {
-            for (t, tier) in ExecTier::ALL.into_iter().enumerate() {
-                let mut emu = Emulator::new(&prog).with_tier(tier);
-                let t0 = std::time::Instant::now();
-                emu.run(FUEL).expect("run");
-                let dt = t0.elapsed().as_secs_f64();
-                insts = emu.measurements().instructions;
-                best[t] = best[t].max(insts as f64 / dt);
-            }
-        }
-        for (t, tier) in ExecTier::ALL.into_iter().enumerate() {
-            println!(
-                "{machine:15} {tier:8}: {insts:>9} insts, {:>12.0} insts/sec",
-                best[t]
-            );
-        }
-    }
-}
 
 #[test]
 fn traces_cover_most_suite_execution() {
